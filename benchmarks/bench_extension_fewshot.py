@@ -1,0 +1,27 @@
+"""Benchmark (extension): few-shot probing across model scales.
+
+Implements the paper's stated future-work direction on the proxy suite.
+"""
+
+from repro.experiments.fewshot import render_fewshot, run_fewshot
+
+from benchmarks.conftest import emit
+
+ORDER = ["proxy-base", "proxy-huge", "proxy-1b", "proxy-3b"]
+
+
+def test_extension_fewshot(benchmark, pretrained_suite, probe_datasets):
+    exp = benchmark.pedantic(
+        lambda: run_fewshot(
+            suite=pretrained_suite, data=probe_datasets["aid"], dataset="aid"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Extension: few-shot probing", render_fewshot(exp))
+    for model, result in exp.results.items():
+        # More shots never hurt much: the 10-shot probe beats 1-shot.
+        assert result.top1[-1] > result.top1[0], model
+    # The scale benefit survives at 10 shots: the largest model beats
+    # the smallest.
+    assert exp.top1("proxy-3b")[-1] > exp.top1("proxy-base")[-1]

@@ -1,0 +1,22 @@
+"""Benchmark (extension): segmentation probing across model scales.
+
+The second of the paper's stated future-work tasks (after few-shot):
+dense prediction with frozen patch tokens.
+"""
+
+from repro.experiments.segmentation_exp import render_segmentation, run_segmentation
+
+from benchmarks.conftest import emit
+
+
+def test_extension_segmentation(benchmark, pretrained_suite):
+    exp = benchmark.pedantic(
+        lambda: run_segmentation(suite=pretrained_suite), rounds=1, iterations=1
+    )
+    emit("Extension: segmentation probing", render_segmentation(exp))
+    mious = [exp.miou(m) for m in exp.model_order]
+    # The scale-quality trend carries to dense prediction: mIoU is
+    # monotone in model size, with the largest clearly beating the
+    # smallest.
+    assert all(a <= b + 1e-9 for a, b in zip(mious, mious[1:])), mious
+    assert mious[-1] > mious[0] + 0.01

@@ -1,0 +1,18 @@
+"""Benchmark (extension): MAE vs contrastive pretraining, same budget."""
+
+from repro.experiments.ssl_compare import render_ssl_compare, run_ssl_compare
+
+from benchmarks.conftest import emit
+
+
+def test_extension_ssl_compare(benchmark, probe_datasets):
+    result = benchmark.pedantic(
+        lambda: run_ssl_compare(probe_data=probe_datasets),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Extension: SSL objective comparison", render_ssl_compare(result))
+    for ds in result.datasets:
+        # Either SSL objective beats random features on every dataset.
+        assert result.get("mae", ds) > result.get("random-init", ds), ds
+        assert result.get("simclr", ds) > result.get("random-init", ds), ds

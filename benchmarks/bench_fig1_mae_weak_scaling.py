@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 1 — MAE ViT-3B weak scaling (io / syn / no-comm / real)."""
+
+from repro.experiments.fig1 import DEFAULT_NODE_GRID, render_fig1, run_fig1
+
+from benchmarks.conftest import emit
+
+
+def test_fig1(benchmark):
+    result = benchmark.pedantic(
+        run_fig1, args=(DEFAULT_NODE_GRID,), rounds=1, iterations=1
+    )
+    emit("Fig 1", render_fig1(result))
+    curves = result.curves()
+    # Never IO-bound; gap grows with scale (paper Section IV-A).
+    assert all(io > syn for io, syn in zip(curves["io"], curves["syn"]))
+    gaps = [io - syn for io, syn in zip(curves["io"], curves["syn"])]
+    assert gaps[-1] > gaps[0]
+    # Communication share grows toward the paper's ~22% at 64 nodes.
+    fracs = result.comm_fractions()
+    assert fracs[-1] > fracs[0]
+    assert 0.15 < fracs[-1] < 0.35
+    # real tracks syn from below.
+    assert all(r <= s for r, s in zip(curves["real"], curves["syn"]))

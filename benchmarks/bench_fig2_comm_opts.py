@@ -1,0 +1,20 @@
+"""Benchmark: Fig. 2 — ViT-5B sharding x prefetch x limit_all_gathers."""
+
+from repro.core.sharding import BackwardPrefetch
+from repro.experiments.fig2 import best_configuration, render_fig2, run_fig2
+
+from benchmarks.conftest import emit
+
+
+def test_fig2(benchmark):
+    points = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    emit("Fig 2", render_fig2(points))
+    best = best_configuration(points)
+    # Paper: BACKWARD_PRE + limit_all_gathers is the best configuration.
+    assert best.prefetch is BackwardPrefetch.BACKWARD_PRE
+    assert best.limit_all_gathers
+    # limit_all_gathers improves (or at worst matches) every config.
+    by_key = {(p.strategy, p.prefetch, p.limit_all_gathers): p.ips for p in points}
+    for (s, pf, lim), ips in by_key.items():
+        if lim:
+            assert ips >= by_key[(s, pf, False)]

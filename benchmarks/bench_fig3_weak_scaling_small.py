@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 3 — weak scaling, models that fit on one GPU."""
+
+from repro.experiments.fig1 import DEFAULT_NODE_GRID
+from repro.experiments.fig3 import render_fig3, run_fig3
+
+from benchmarks.conftest import emit
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(
+        run_fig3, args=(DEFAULT_NODE_GRID,), rounds=1, iterations=1
+    )
+    emit("Fig 3", render_fig3(result))
+    models = ["vit-base", "vit-huge", "vit-1b", "vit-3b"]
+    for model in models:
+        at_scale = {s: result.ips(model, s)[-1] for s in result.grids[model]}
+        # HYBRID_1GPU best everywhere; FULL_SHARD worst FSDP mode at scale.
+        assert at_scale["HYBRID_1GPU"] == max(at_scale.values()), model
+        fsdp = {k: v for k, v in at_scale.items() if k != "DDP"}
+        assert at_scale["FULL_SHARD"] == min(fsdp.values()), model
+        assert at_scale["DDP"] < at_scale["HYBRID_1GPU"], model
+    # DDP-vs-FSDP gap grows with model size (paper Section IV-C).
+    gap = lambda m: result.ips(m, "HYBRID_1GPU")[-1] / result.ips(m, "DDP")[-1]
+    assert gap("vit-3b") > gap("vit-base")
+    # Memory panel: ViT-3B > 60 GB-ish unsharded; FULL_SHARD ~4 GB at scale.
+    assert result.memory_gib("vit-3b", "NO_SHARD")[0] > 55
+    assert result.memory_gib("vit-3b", "FULL_SHARD")[-1] < 10

@@ -1,0 +1,34 @@
+"""Benchmark: Fig. 6 — probe top-1/top-5 accuracy vs probing epoch."""
+
+from repro.experiments.fig6 import Fig6Result, render_fig6
+from repro.experiments.table3 import PROBE_EPOCHS
+
+from benchmarks.conftest import emit
+
+ORDER = ["proxy-base", "proxy-huge", "proxy-1b", "proxy-3b"]
+
+
+def test_fig6(benchmark, probe_results, probe_datasets):
+    result = benchmark.pedantic(
+        lambda: Fig6Result(
+            probes=probe_results,
+            model_order=ORDER,
+            datasets=list(probe_datasets),
+            epochs=PROBE_EPOCHS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig 6", render_fig6(result))
+    for ds in result.datasets:
+        small = result.curve("proxy-base", ds)
+        large = result.curve("proxy-3b", ds)
+        # The largest model ends ahead on every dataset...
+        assert large[-1] > small[-1], ds
+        # ...and a persistent separation point exists (paper: visible by
+        # ~epoch 10 for the shifted-domain datasets).
+        sep = result.epoch_of_separation(ds)
+        assert sep is not None, ds
+        # top-5 curves dominate top-1 everywhere.
+        t5 = result.curve("proxy-3b", ds, k=5)
+        assert all(b >= a for a, b in zip(large, t5))

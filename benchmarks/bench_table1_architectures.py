@@ -1,0 +1,16 @@
+"""Benchmark: Table I — architecture inventory and parameter accounting."""
+
+from repro.experiments.table1 import render_table1, run_table1
+
+from benchmarks.conftest import emit
+
+
+def test_table1(benchmark):
+    rows = benchmark(run_table1)
+    emit("Table I", render_table1(rows))
+    by_name = {r.cfg.name: r for r in rows}
+    # Paper-shape assertions: counts match everywhere but the 5B.
+    for name, row in by_name.items():
+        if name != "vit-5b":
+            assert abs(row.relative_error) < 0.02
+    assert by_name["vit-15b"].computed_params_m > 14_000

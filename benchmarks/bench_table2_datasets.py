@@ -1,0 +1,17 @@
+"""Benchmark: Table II — dataset inventory and split construction."""
+
+import pytest
+
+from repro.experiments.table2 import render_table2, run_table2
+
+from benchmarks.conftest import emit
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit("Table II", render_table2(rows))
+    # The paper's training ratios are preserved exactly.
+    for row in rows:
+        assert row.train_ratio == pytest.approx(row.paper_train_ratio, abs=0.005)
+    names = {r.name for r in rows}
+    assert names == {"millionaid", "ucm", "aid", "nwpu"}

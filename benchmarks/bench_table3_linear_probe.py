@@ -1,0 +1,62 @@
+"""Benchmark: Table III — linear-probe top-1 across datasets and sizes."""
+
+import numpy as np
+
+from repro.experiments.downstream import DownstreamRecipe, pretrain_suite
+from repro.experiments.report import render_table
+from repro.experiments.table3 import probe_suite
+
+from benchmarks.conftest import emit
+
+ORDER = ["proxy-base", "proxy-huge", "proxy-1b", "proxy-3b"]
+LONG_FACTOR = 4
+
+
+def test_table3(benchmark, pretrained_suite, probe_datasets, probe_results):
+    datasets = list(probe_datasets)
+
+    # The paper's extra row: Base pretrained 4x longer.
+    long_recipe = DownstreamRecipe(
+        steps=DownstreamRecipe().steps * LONG_FACTOR, model_names=("proxy-base",)
+    )
+    long_suite = pretrain_suite(long_recipe)
+    long_probes = benchmark.pedantic(
+        lambda: probe_suite(long_suite, probe_datasets), rounds=1, iterations=1
+    )
+
+    rows = [
+        ["proxy-base (4x pretrain)"]
+        + [
+            round(100 * long_probes[("proxy-base", ds)].final_top1, 2)
+            for ds in datasets
+        ]
+    ]
+    rows += [
+        [m] + [round(100 * probe_results[(m, ds)].final_top1, 2) for ds in datasets]
+        for m in ORDER
+    ]
+    emit(
+        "Table III",
+        render_table(["model", *datasets], rows, "linear-probe top-1 (%)"),
+    )
+
+    # Paper shapes: accuracy improves with scale on every dataset
+    # (largest vs smallest strictly; the mean over datasets strictly
+    # monotone along the chain), with a large base->3b gain.
+    for ds in datasets:
+        assert (
+            probe_results[("proxy-3b", ds)].final_top1
+            > probe_results[("proxy-base", ds)].final_top1
+        ), ds
+    means = [
+        np.mean([probe_results[(m, ds)].final_top1 for ds in datasets])
+        for m in ORDER
+    ]
+    assert all(a < b for a, b in zip(means, means[1:])), means
+    gain = means[-1] - means[0]
+    assert gain > 0.08, f"base->3b mean gain too small: {gain:.3f}"
+    # Longer pretraining helps the Base model on average (400 vs 100 ep).
+    long_mean = np.mean(
+        [long_probes[("proxy-base", ds)].final_top1 for ds in datasets]
+    )
+    assert long_mean > means[0]

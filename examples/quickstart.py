@@ -1,0 +1,71 @@
+"""Quickstart: pretrain a tiny geospatial MAE and linear-probe it.
+
+Runs in well under a minute on a laptop:
+
+1. synthesize a small MillionAID-style corpus;
+2. MAE-pretrain a proxy ViT under FSDP FULL_SHARD on a simulated
+   4-GPU world (numerically identical to single-GPU training — that is
+   the point of the engine);
+3. freeze the encoder and train a linear probe on a scene-classification
+   dataset;
+4. report top-1 / top-5 accuracy.
+
+Usage: python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.comm.world import World
+from repro.core.config import get_mae_config
+from repro.core.fsdp import FSDPEngine
+from repro.core.sharding import ShardingStrategy
+from repro.core.trainer import MAEPretrainer
+from repro.data.datasets import build_dataset, build_pretraining_corpus
+from repro.data.transforms import normalize_images
+from repro.eval.linear_probe import linear_probe
+from repro.models.mae import MaskedAutoencoder
+from repro.optim.adamw import AdamW
+
+
+def main() -> None:
+    print("1) building synthetic geospatial corpus...")
+    corpus = build_pretraining_corpus(n_images=512, img_size=32, seed=0)
+    images = normalize_images(corpus.images)
+
+    print("2) MAE pretraining (proxy-base, FULL_SHARD on 4 simulated GPUs)...")
+    cfg = get_mae_config("proxy-base")
+    model = MaskedAutoencoder(cfg, rng=np.random.default_rng(1))
+    engine = FSDPEngine(
+        model,
+        World(size=4, ranks_per_node=4),
+        ShardingStrategy.FULL_SHARD,
+        optimizer_factory=lambda p: AdamW(p, lr=1e-3),
+    )
+    trainer = MAEPretrainer(engine, images, global_batch=64, seed=0)
+    result = trainer.run(n_steps=150)
+    print(
+        f"   loss {result.losses[0]:.3f} -> {result.losses[-1]:.3f} "
+        f"over {result.n_steps} steps"
+    )
+    stats = engine.comm.stats
+    print(
+        f"   collectives issued: {stats.total_calls} "
+        f"({stats.total_bytes / 1e6:.1f} MB on the wire)"
+    )
+
+    print("3) linear probing on the UCM-analogue dataset...")
+    data = build_dataset("ucm", img_size=32, seed=0)
+    data.train.images = normalize_images(data.train.images)
+    data.test.images = normalize_images(data.test.images)
+    probe = linear_probe(model, data, epochs=15, seed=0, model_name="proxy-base")
+
+    print(
+        f"4) top-1 = {100 * probe.final_top1:.1f}%  "
+        f"top-5 = {100 * probe.final_top5:.1f}%  "
+        f"({data.spec.n_classes} classes, chance = "
+        f"{100 / data.spec.n_classes:.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

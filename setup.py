@@ -1,0 +1,10 @@
+"""Classic setup shim.
+
+Lets ``pip install -e .`` fall back to ``setup.py develop`` on
+environments without the ``wheel`` package (PEP 660 editable builds need
+it); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

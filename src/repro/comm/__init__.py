@@ -1,0 +1,32 @@
+"""Communication substrate.
+
+This package plays the role MPI/RCCL plays under PyTorch distributed:
+
+- :mod:`repro.comm.world` — ranks, process groups, and the hybrid-sharding
+  device-mesh construction (shard groups x replica groups).
+- :mod:`repro.comm.collectives` — *executable* collectives over per-rank
+  NumPy buffers (ring all-gather / reduce-scatter / all-reduce /
+  broadcast), with per-operation call and byte accounting. These run the
+  real data movement of the mini-FSDP engine in-process (SPMD style).
+- :mod:`repro.comm.cost_model` — alpha-beta-gamma time model for the same
+  collectives on a hierarchical machine topology; used by the
+  performance simulator.
+- :mod:`repro.comm.bucketing` — DDP-style gradient bucketing.
+"""
+
+from repro.comm.bucketing import Bucket, bucket_gradients
+from repro.comm.collectives import CommStats, SimComm
+from repro.comm.cost_model import CollectiveCostModel, GroupPlacement
+from repro.comm.world import Group, World, make_hybrid_mesh
+
+__all__ = [
+    "World",
+    "Group",
+    "make_hybrid_mesh",
+    "SimComm",
+    "CommStats",
+    "CollectiveCostModel",
+    "GroupPlacement",
+    "Bucket",
+    "bucket_gradients",
+]

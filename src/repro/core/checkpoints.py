@@ -1,0 +1,50 @@
+"""Model checkpointing (state dicts as compressed ``.npz`` archives).
+
+Used by the experiment suite so that Fig. 5 / Fig. 6 / Table III benches
+share one set of pretrained proxy models instead of re-pretraining per
+bench process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.models.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_exists"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(model: Module, path: str, meta: dict | None = None) -> None:
+    """Write the model's state dict (plus JSON metadata) to ``path``."""
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY}")
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(model: Module, path: str) -> dict:
+    """Load a checkpoint into ``model``; returns the stored metadata."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    model.load_state_dict(state)
+    return meta
+
+
+def checkpoint_exists(path: str) -> bool:
+    """True when a checkpoint archive exists at ``path``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    return os.path.exists(path)

@@ -1,0 +1,229 @@
+"""Model architecture registry (paper Table I) and parameter accounting.
+
+Two families live here:
+
+- ``VIT_VARIANTS``: the six Table I configurations, used by the
+  performance models exactly as published. Parameter counts are computed
+  from first principles; they match the paper's reported millions within
+  ~1% for every variant except ViT-5B, whose stated (width=1792,
+  depth=56, mlp=15360) combination yields ~3.8B by any standard
+  transformer formula — an internal inconsistency of the paper that the
+  Table I benchmark reports explicitly.
+- ``PROXY_VARIANTS``: a scaled-down family with the same relative scaling
+  (width and depth grow together, mlp = 4 x width) that is small enough
+  to *actually train* with the NumPy substrate. The downstream
+  experiments (Fig 5/6, Table III) run on these.
+
+Positional embeddings are fixed sin-cos as in the official MAE code the
+paper builds on, so they are not counted as parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ViTConfig",
+    "MAEConfig",
+    "VIT_VARIANTS",
+    "PROXY_VARIANTS",
+    "get_vit_config",
+    "get_mae_config",
+    "count_vit_params",
+    "count_mae_params",
+    "vit_block_params",
+]
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """One Vision Transformer encoder configuration.
+
+    ``paper_params_m`` is the parameter count (millions) the paper's
+    Table I reports for this variant, when it appears there.
+    """
+
+    name: str
+    width: int
+    depth: int
+    mlp: int
+    heads: int
+    patch: int = 14
+    img_size: int = 224
+    in_chans: int = 3
+    paper_params_m: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.width % self.heads != 0:
+            raise ValueError(
+                f"{self.name}: width {self.width} not divisible by heads {self.heads}"
+            )
+        if self.img_size % self.patch != 0:
+            raise ValueError(
+                f"{self.name}: image size {self.img_size} not divisible by "
+                f"patch {self.patch}"
+            )
+        for f in ("width", "depth", "mlp", "heads", "patch", "img_size", "in_chans"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{self.name}: {f} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head attention dimension (width / heads)."""
+        return self.width // self.heads
+
+    @property
+    def grid(self) -> int:
+        """Patches per image side."""
+        return self.img_size // self.patch
+
+    @property
+    def n_patches(self) -> int:
+        """Patches per image (grid squared)."""
+        return self.grid * self.grid
+
+    @property
+    def seq_len(self) -> int:
+        """Token count including the class token."""
+        return self.n_patches + 1
+
+    @property
+    def patch_dim(self) -> int:
+        """Flattened pixel dimension of one patch."""
+        return self.patch * self.patch * self.in_chans
+
+    def with_image(self, img_size: int) -> "ViTConfig":
+        """Same architecture at a different input resolution."""
+        return replace(self, img_size=img_size)
+
+
+@dataclass(frozen=True)
+class MAEConfig:
+    """A masked-autoencoder pretraining configuration.
+
+    The decoder follows the MAE paper's default lightweight design
+    (8 blocks, width 512) which the paper adopts verbatim; the proxy
+    family shrinks it proportionally.
+    """
+
+    encoder: ViTConfig
+    dec_width: int = 512
+    dec_depth: int = 8
+    dec_heads: int = 16
+    mask_ratio: float = 0.75
+    norm_pix_loss: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.mask_ratio < 1.0:
+            raise ValueError(f"mask_ratio must be in (0, 1), got {self.mask_ratio}")
+        if self.dec_width % self.dec_heads != 0:
+            raise ValueError(
+                f"decoder width {self.dec_width} not divisible by heads {self.dec_heads}"
+            )
+
+    @property
+    def n_masked(self) -> int:
+        """Number of masked patches per image (constant per config)."""
+        return int(round(self.encoder.n_patches * self.mask_ratio))
+
+    @property
+    def n_visible(self) -> int:
+        """Number of visible (unmasked) patches per image."""
+        return self.encoder.n_patches - self.n_masked
+
+
+def _table1(name, width, depth, mlp, heads, patch, paper_m) -> ViTConfig:
+    return ViTConfig(
+        name=name,
+        width=width,
+        depth=depth,
+        mlp=mlp,
+        heads=heads,
+        patch=patch,
+        img_size=224 if patch == 16 else 224,  # perf runs; MAE runs use 512
+        paper_params_m=paper_m,
+    )
+
+
+#: Paper Table I, verbatim.
+VIT_VARIANTS: dict[str, ViTConfig] = {
+    "vit-base": _table1("vit-base", 768, 12, 3072, 12, 16, 87.0),
+    "vit-huge": _table1("vit-huge", 1280, 32, 5120, 16, 14, 635.0),
+    "vit-1b": _table1("vit-1b", 1536, 32, 6144, 16, 14, 914.0),
+    "vit-3b": _table1("vit-3b", 2816, 32, 11264, 32, 14, 3067.0),
+    "vit-5b": _table1("vit-5b", 1792, 56, 15360, 16, 14, 5349.0),
+    "vit-15b": _table1("vit-15b", 5040, 48, 20160, 48, 14, 14720.0),
+}
+
+#: Scaled-down executable family; same relative scaling, 32x32 inputs.
+PROXY_VARIANTS: dict[str, ViTConfig] = {
+    "proxy-base": ViTConfig("proxy-base", 32, 2, 128, 4, patch=8, img_size=32),
+    "proxy-huge": ViTConfig("proxy-huge", 48, 3, 192, 6, patch=8, img_size=32),
+    "proxy-1b": ViTConfig("proxy-1b", 64, 4, 256, 8, patch=8, img_size=32),
+    "proxy-3b": ViTConfig("proxy-3b", 96, 6, 384, 8, patch=8, img_size=32),
+}
+
+#: Which proxy stands in for which paper variant in downstream experiments.
+PROXY_FOR: dict[str, str] = {
+    "vit-base": "proxy-base",
+    "vit-huge": "proxy-huge",
+    "vit-1b": "proxy-1b",
+    "vit-3b": "proxy-3b",
+}
+
+
+def get_vit_config(name: str, img_size: int | None = None) -> ViTConfig:
+    """Look up a variant by name across both families."""
+    table = {**VIT_VARIANTS, **PROXY_VARIANTS}
+    if name not in table:
+        raise KeyError(
+            f"unknown ViT variant {name!r}; known: {sorted(table)}"
+        )
+    cfg = table[name]
+    return cfg.with_image(img_size) if img_size is not None else cfg
+
+
+def get_mae_config(name: str, img_size: int | None = None) -> MAEConfig:
+    """MAE pretraining config for a variant (paper defaults or proxy-sized)."""
+    enc = get_vit_config(name, img_size=img_size)
+    if name in PROXY_VARIANTS:
+        return MAEConfig(encoder=enc, dec_width=32, dec_depth=2, dec_heads=4)
+    return MAEConfig(encoder=enc)
+
+
+def vit_block_params(width: int, mlp: int) -> int:
+    """Parameters of one pre-norm transformer encoder block.
+
+    qkv (3W^2+3W) + attention proj (W^2+W) + two LayerNorms (4W) +
+    MLP fc1 (W*M+M) + fc2 (M*W+W).
+    """
+    return 4 * width * width + 2 * width * mlp + 9 * width + mlp
+
+
+def count_vit_params(cfg: ViTConfig, n_classes: int | None = None) -> int:
+    """Exact parameter count of the ViT encoder (optionally with a head).
+
+    Matches the NumPy implementation in :mod:`repro.models.vit`
+    parameter-for-parameter (tests assert this).
+    """
+    n = 0
+    n += cfg.patch_dim * cfg.width + cfg.width  # patch embedding
+    n += cfg.width  # class token
+    n += cfg.depth * vit_block_params(cfg.width, cfg.mlp)
+    n += 2 * cfg.width  # final LayerNorm
+    if n_classes is not None:
+        n += cfg.width * n_classes + n_classes
+    return n
+
+
+def count_mae_params(cfg: MAEConfig) -> int:
+    """Exact parameter count of the full MAE (encoder + decoder)."""
+    enc = count_vit_params(cfg.encoder)
+    w, m = cfg.dec_width, 4 * cfg.dec_width
+    dec = 0
+    dec += cfg.encoder.width * w + w  # decoder embed
+    dec += w  # mask token
+    dec += cfg.dec_depth * vit_block_params(w, m)
+    dec += 2 * w  # decoder LayerNorm
+    dec += w * cfg.encoder.patch_dim + cfg.encoder.patch_dim  # prediction head
+    return enc + dec

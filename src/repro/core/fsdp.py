@@ -1,0 +1,264 @@
+"""Executable mini-FSDP engine.
+
+Runs real training of a NumPy model under the paper's sharding
+strategies, with all ranks of the job simulated SPMD-style inside one
+process. The engine is *numerically faithful*:
+
+- each rank computes gradients on its own microbatch;
+- gradients are combined with the exact collective sequence of the
+  strategy (all-reduce for ``NO_SHARD``; reduce-scatter within the shard
+  group, then all-reduce across replica groups for ``HYBRID_SHARD``;
+  reduce-scatter over the world for ``FULL_SHARD``/``SHARD_GRAD_OP``);
+- the optimizer steps on *flat parameter shards* whose storage is viewed
+  by the model parameters, exactly as FSDP's flat-parameter design works;
+- parameter all-gathers are issued through the same collective layer
+  (forward-only for ``SHARD_GRAD_OP``, forward + backward for
+  ``FULL_SHARD``), so call/byte accounting matches the strategy.
+
+One deliberate economy (documented, not a shortcut in numerics): because
+all ranks hold identical parameters after every step, the engine keeps a
+single model instance and a single materialized flat buffer per unit, and
+deduplicates the optimizer state across replica groups (replica shards
+are provably identical after the all-reduce; ``check_replicas=True``
+asserts it). Per-rank activation and gradient data are genuinely
+per-rank.
+
+The tests in ``tests/test_core`` assert bit-level (<=1e-9) equivalence of
+parameters after multi-step training across every strategy and against a
+single-process large-batch reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.comm.collectives import SimComm
+from repro.comm.world import World, make_hybrid_mesh
+from repro.core.sharding import (
+    BackwardPrefetch,
+    FlatUnit,
+    ShardingStrategy,
+    default_wrap_units,
+)
+from repro.models.module import Module
+from repro.optim.adamw import AdamW
+from repro.optim.base import Optimizer
+
+__all__ = ["FSDPEngine"]
+
+StepFn = Callable[[Module, Any], float]
+OptimizerFactory = Callable[[Sequence], Optimizer]
+
+
+def _resolve_shard_size(
+    strategy: ShardingStrategy, shard_size: int | None, world: World
+) -> int:
+    if strategy is ShardingStrategy.NO_SHARD:
+        if shard_size not in (None, 1):
+            raise ValueError("NO_SHARD implies shard_size=1")
+        return 1
+    if strategy in (ShardingStrategy.FULL_SHARD, ShardingStrategy.SHARD_GRAD_OP):
+        if shard_size not in (None, world.size):
+            raise ValueError(f"{strategy.value} shards across the whole world")
+        return world.size
+    if strategy is ShardingStrategy.HYBRID_SHARD:
+        if shard_size is None:
+            raise ValueError("HYBRID_SHARD requires an explicit shard_size")
+        if world.size % shard_size != 0:
+            raise ValueError(
+                f"world size {world.size} not divisible by shard size {shard_size}"
+            )
+        return shard_size
+    raise ValueError(f"unsupported strategy for FSDPEngine: {strategy}")
+
+
+class FSDPEngine:
+    """Sharded data-parallel training of one model over a simulated world.
+
+    Parameters
+    ----------
+    model:
+        The NumPy model. Its parameters are re-pointed to flat-buffer
+        views at construction.
+    world:
+        Rank layout (size and ranks-per-node).
+    strategy:
+        One of NO_SHARD / FULL_SHARD / SHARD_GRAD_OP / HYBRID_SHARD.
+    shard_size:
+        Sharding-group size; required for HYBRID_SHARD (the paper's
+        ``HYBRID_<n>GPUs``), implied otherwise.
+    optimizer_factory:
+        ``params -> Optimizer``; defaults to the paper's AdamW recipe.
+    backward_prefetch:
+        Recorded for parity with the performance model; has no numeric
+        effect (prefetch changes *when* data moves, not *what* moves).
+    check_replicas:
+        Assert replica-group gradient shards agree after all-reduce.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        world: World,
+        strategy: ShardingStrategy = ShardingStrategy.FULL_SHARD,
+        shard_size: int | None = None,
+        optimizer_factory: OptimizerFactory | None = None,
+        comm: SimComm | None = None,
+        backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE,
+        check_replicas: bool = False,
+    ):
+        self.model = model
+        self.world = world
+        self.strategy = strategy
+        self.shard_size = _resolve_shard_size(strategy, shard_size, world)
+        self.comm = comm if comm is not None else SimComm()
+        self.backward_prefetch = backward_prefetch
+        self.check_replicas = check_replicas
+
+        self.mesh = make_hybrid_mesh(world, self.shard_size)
+        self.units: list[FlatUnit] = default_wrap_units(model, self.shard_size)
+        self._shards = [u.make_shards() for u in self.units]
+        flat_shard_params = [s for shards in self._shards for s in shards]
+        factory = optimizer_factory if optimizer_factory is not None else AdamW
+        self.optimizer = factory(flat_shard_params)
+        self.step_count = 0
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate (delegates to the optimizer)."""
+        return self.optimizer.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        """Current learning rate (delegates to the optimizer)."""
+        self.optimizer.lr = value
+
+    def n_params(self) -> int:
+        """Total (unpadded) parameters across units."""
+        return sum(u.plan.numel for u in self.units)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Engine snapshot: model params, optimizer state, step count.
+
+        Because replica-group optimizer state is deduplicated, this is a
+        *global* checkpoint: any world size / strategy can restore it
+        (the flat layout depends only on the model and shard count, and
+        the loader re-flattens through the model's state dict).
+        """
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "step_count": self.step_count,
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a snapshot taken from an engine with the same model
+        architecture and shard count."""
+        self.model.load_state_dict(sd["model"])
+        self.optimizer.load_state_dict(sd["optimizer"])
+        self.step_count = int(sd["step_count"])
+
+    # -- collective phases ---------------------------------------------------
+
+    def _issue_param_allgathers(self) -> None:
+        """All-gather every unit's shards within each shard group.
+
+        With a single materialized flat buffer the gather is a fixed point
+        (the shards are views of the buffer); issuing it still exercises
+        the collective layer's data path and accounting, which is the
+        point.
+        """
+        if self.shard_size == 1:
+            return
+        for unit in self.units:
+            for group in self.mesh.shard_groups:
+                shards = [unit.shard_view(j) for j in range(self.shard_size)]
+                gathered = self.comm.all_gather(shards, group)
+                np.copyto(unit.flat, gathered[0])
+
+    def _reduce_gradients(
+        self, rank_grads: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Combine per-rank flat gradients into per-unit shard gradients.
+
+        ``rank_grads[r][u]`` is rank r's flat gradient of unit u. Returns
+        ``shard_grads[u][j]``: the reduced gradient of shard j of unit u
+        (identical across replica groups).
+        """
+        world_group = self.world.world_group()
+        out: list[list[np.ndarray]] = []
+        for u in range(len(self.units)):
+            if self.strategy is ShardingStrategy.NO_SHARD:
+                reduced = self.comm.all_reduce(
+                    [rank_grads[r][u] for r in range(self.world.size)],
+                    world_group,
+                    op="mean",
+                )
+                out.append([reduced[0]])
+                continue
+            # Reduce-scatter inside every shard group.
+            per_group: list[list[np.ndarray]] = []
+            for group in self.mesh.shard_groups:
+                bufs = [rank_grads[r][u] for r in group.ranks]
+                per_group.append(self.comm.reduce_scatter(bufs, group, op="mean"))
+            if self.mesh.n_replicas == 1:
+                out.append(per_group[0])
+                continue
+            # HYBRID: all-reduce each shard index across replica groups.
+            shard_grads: list[np.ndarray] = []
+            for j in range(self.shard_size):
+                replica_group = self.mesh.replica_groups[j]
+                bufs = [per_group[k][j] for k in range(self.mesh.n_replicas)]
+                reduced = self.comm.all_reduce(bufs, replica_group, op="mean")
+                if self.check_replicas:
+                    for r in reduced[1:]:
+                        np.testing.assert_allclose(r, reduced[0], rtol=0, atol=1e-12)
+                shard_grads.append(reduced[0])
+            out.append(shard_grads)
+        return out
+
+    # -- the step ------------------------------------------------------------
+
+    def train_step(self, micros: Sequence[Any], step_fn: StepFn) -> float:
+        """One optimizer step over ``world.size`` microbatches.
+
+        ``step_fn(model, micro)`` must run forward *and* backward for one
+        microbatch (accumulating into the model's gradients) and return
+        the scalar loss. Returns the mean loss across ranks.
+        """
+        if len(micros) != self.world.size:
+            raise ValueError(
+                f"need {self.world.size} microbatches (one per rank), "
+                f"got {len(micros)}"
+            )
+        # Forward parameter materialization.
+        self._issue_param_allgathers()
+
+        # Per-rank forward/backward.
+        losses = []
+        rank_grads: list[list[np.ndarray]] = []
+        for r in range(self.world.size):
+            for u in self.units:
+                u.zero_grad()
+            losses.append(float(step_fn(self.model, micros[r])))
+            rank_grads.append([u.read_grad() for u in self.units])
+
+        # FULL_SHARD re-gathers parameters during backward.
+        if self.strategy is ShardingStrategy.FULL_SHARD:
+            self._issue_param_allgathers()
+
+        shard_grads = self._reduce_gradients(rank_grads)
+
+        # Optimizer on the flat shards (views -> model updated in place).
+        for u, shards in enumerate(self._shards):
+            for j, shard in enumerate(shards):
+                shard.grad[...] = shard_grads[u][j]
+        self.optimizer.step()
+        self.step_count += 1
+        return float(np.mean(losses))

@@ -1,0 +1,225 @@
+"""Sharding strategies and flat-parameter machinery.
+
+FSDP's unit of sharding is the *flat parameter*: all tensors of one
+wrapped module (here: one transformer block, matching the paper's
+``transformer_auto_wrap_policy`` setup) concatenated into a single 1-D
+buffer, zero-padded to a multiple of the sharding-group size, and split
+into equal contiguous shards — rank ``j`` of the group owns shard ``j``.
+
+:class:`FlatUnit` additionally *installs views*: after flattening, every
+module parameter's ``data``/``grad`` array becomes a reshaped view into
+the unit's flat buffers, so an all-gather that writes the flat buffer
+materializes the module parameters with zero copies (a direct application
+of the "views, not copies" guidance).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.blocks import TransformerBlock
+from repro.models.module import Module, Parameter
+
+__all__ = [
+    "ShardingStrategy",
+    "BackwardPrefetch",
+    "parse_strategy",
+    "ShardPlan",
+    "FlatUnit",
+    "FlatShard",
+    "flatten_params",
+    "unflatten_params",
+    "default_wrap_units",
+]
+
+
+class ShardingStrategy(enum.Enum):
+    """FSDP sharding strategies, paper Section III-C."""
+
+    NO_SHARD = "NO_SHARD"
+    FULL_SHARD = "FULL_SHARD"
+    SHARD_GRAD_OP = "SHARD_GRAD_OP"
+    HYBRID_SHARD = "HYBRID_SHARD"
+    DDP = "DDP"  # the non-FSDP baseline the paper compares against
+
+
+class BackwardPrefetch(enum.Enum):
+    """FSDP backward parameter-prefetch policies, paper Section IV-B."""
+
+    NONE = "NONE"
+    BACKWARD_POST = "BACKWARD_POST"
+    BACKWARD_PRE = "BACKWARD_PRE"
+
+
+_HYBRID_RE = re.compile(r"^HYBRID_(\d+)GPUS?$", re.IGNORECASE)
+
+
+def parse_strategy(name: str) -> tuple[ShardingStrategy, int | None]:
+    """Parse a paper-style strategy label into (strategy, shard_size).
+
+    Accepts the plain enum names plus the paper's ``HYBRID_2GPUs`` /
+    ``HYBRID_8GPUs`` labels; returns shard_size None when the strategy
+    itself determines it (NO_SHARD -> 1, FULL_SHARD -> world size).
+    """
+    label = name.strip()
+    m = _HYBRID_RE.match(label)
+    if m:
+        return ShardingStrategy.HYBRID_SHARD, int(m.group(1))
+    try:
+        return ShardingStrategy[label.upper()], None
+    except KeyError:
+        raise ValueError(f"unknown sharding strategy {name!r}") from None
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one flat parameter of ``numel`` elements splits over a group."""
+
+    numel: int
+    shard_size: int
+
+    def __post_init__(self) -> None:
+        if self.numel <= 0:
+            raise ValueError(f"numel must be positive, got {self.numel}")
+        if self.shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {self.shard_size}")
+
+    @property
+    def padded_numel(self) -> int:
+        """Element count after zero-padding to a shard multiple."""
+        s = self.shard_size
+        return -(-self.numel // s) * s
+
+    @property
+    def shard_numel(self) -> int:
+        """Elements per shard."""
+        return self.padded_numel // self.shard_size
+
+    def shard_slice(self, shard_index: int) -> slice:
+        """Flat-buffer slice owned by ``shard_index``."""
+        if not 0 <= shard_index < self.shard_size:
+            raise ValueError(
+                f"shard index {shard_index} out of range for {self.shard_size} shards"
+            )
+        c = self.shard_numel
+        return slice(shard_index * c, (shard_index + 1) * c)
+
+
+def flatten_params(params: list[Parameter]) -> tuple[np.ndarray, list[tuple[str, tuple[int, ...], int]]]:
+    """Concatenate parameters into a flat vector plus layout metadata.
+
+    Returns ``(flat, layout)`` where layout entries are
+    ``(name, shape, offset)``.
+    """
+    if not params:
+        raise ValueError("cannot flatten an empty parameter list")
+    layout = []
+    offset = 0
+    for p in params:
+        layout.append((p.name, p.data.shape, offset))
+        offset += p.data.size
+    flat = np.concatenate([p.data.reshape(-1) for p in params])
+    return flat, layout
+
+
+def unflatten_params(flat: np.ndarray, layout) -> list[np.ndarray]:
+    """Views into ``flat`` for each layout entry (no copies)."""
+    out = []
+    for _name, shape, offset in layout:
+        n = int(np.prod(shape))
+        out.append(flat[offset : offset + n].reshape(shape))
+    return out
+
+
+class FlatShard:
+    """One rank's shard of a flat parameter, as an optimizer target.
+
+    ``data`` is a *view* into the unit's flat buffer, so an optimizer
+    stepping this shard updates the materialized parameters in place.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = data
+        self.grad = np.zeros_like(data)
+        self.name = name
+
+
+class FlatUnit:
+    """One FSDP wrapping unit: a flat parameter plus installed views."""
+
+    def __init__(self, name: str, params: list[Parameter], shard_size: int):
+        if shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        self.name = name
+        self.params = params
+        flat, self.layout = flatten_params(params)
+        self.plan = ShardPlan(numel=flat.size, shard_size=shard_size)
+        self.flat = np.zeros(self.plan.padded_numel, dtype=flat.dtype)
+        self.flat[: flat.size] = flat
+        self.grad_flat = np.zeros_like(self.flat)
+        self._install_views()
+
+    def _install_views(self) -> None:
+        for p, data_view in zip(self.params, unflatten_params(self.flat, self.layout)):
+            p.data = data_view
+        for p, grad_view in zip(
+            self.params, unflatten_params(self.grad_flat, self.layout)
+        ):
+            p.grad = grad_view
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the padded flat parameter."""
+        return self.flat.nbytes
+
+    def shard_view(self, shard_index: int) -> np.ndarray:
+        """View of shard ``shard_index`` inside the flat buffer."""
+        return self.flat[self.plan.shard_slice(shard_index)]
+
+    def read_grad(self) -> np.ndarray:
+        """Copy of the current flat gradient (one rank's contribution)."""
+        return self.grad_flat.copy()
+
+    def zero_grad(self) -> None:
+        """Zero the unit's flat gradient (and thus every view)."""
+        self.grad_flat[...] = 0.0
+
+    def make_shards(self) -> list[FlatShard]:
+        """Optimizer targets: one per shard index, viewing the flat buffer."""
+        return [
+            FlatShard(self.shard_view(j), name=f"{self.name}/shard{j}")
+            for j in range(self.plan.shard_size)
+        ]
+
+
+def default_wrap_units(model: Module, shard_size: int) -> list[FlatUnit]:
+    """The paper's wrapping policy: one unit per transformer block.
+
+    Every :class:`TransformerBlock` becomes its own flat parameter; all
+    remaining parameters (embeddings, norms, heads, tokens) form the root
+    unit — exactly what ``transformer_auto_wrap_policy(TransformerBlock)``
+    produces in PyTorch FSDP.
+    """
+    block_params: set[int] = set()
+    units: list[FlatUnit] = []
+    idx = 0
+    for mod in model.modules():
+        if isinstance(mod, TransformerBlock):
+            params = mod.parameters()
+            block_params.update(id(p) for p in params)
+            units.append(FlatUnit(f"block{idx}", params, shard_size))
+            idx += 1
+    root = [p for p in model.parameters() if id(p) not in block_params]
+    if root:
+        # Root unit goes first: FSDP gathers it for the embedding layers
+        # before any block runs.
+        units.insert(0, FlatUnit("root", root, shard_size))
+    if not units:
+        raise ValueError("model has no parameters to wrap")
+    return units

@@ -1,0 +1,162 @@
+"""MAE pretraining loop (paper Section V-B recipe, proxy scale).
+
+The trainer owns the data order and the MAE masking noise, both derived
+deterministically from the seed and the global step — *not* from the rank
+— so the same run under any world size / sharding strategy sees identical
+samples and masks. This is what makes the engine-equivalence guarantees
+testable end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.ddp import DDPEngine
+from repro.core.fsdp import FSDPEngine
+from repro.models.mae import MaskedAutoencoder
+from repro.optim.schedules import CosineWithWarmup
+
+__all__ = ["MAEPretrainer", "TrainResult"]
+
+Engine = FSDPEngine | DDPEngine
+
+
+@dataclass
+class TrainResult:
+    """Per-step records of one pretraining run."""
+
+    losses: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+    steps_per_epoch: int = 0
+
+    @property
+    def n_steps(self) -> int:
+        """Number of recorded optimizer steps."""
+        return len(self.losses)
+
+    def epoch_means(self) -> np.ndarray:
+        """Mean loss per epoch (trailing partial epoch included)."""
+        if not self.losses or self.steps_per_epoch <= 0:
+            return np.array([])
+        arr = np.asarray(self.losses)
+        n_full = len(arr) // self.steps_per_epoch
+        means = [
+            arr[i * self.steps_per_epoch : (i + 1) * self.steps_per_epoch].mean()
+            for i in range(n_full)
+        ]
+        if len(arr) % self.steps_per_epoch:
+            means.append(arr[n_full * self.steps_per_epoch :].mean())
+        return np.asarray(means)
+
+
+def _mae_step_fn(model: MaskedAutoencoder, micro) -> float:
+    imgs, noise = micro
+    out = model.forward(imgs, noise=noise)
+    model.backward()
+    return out.loss
+
+
+class MAEPretrainer:
+    """Drives an engine through MAE pretraining on an image array.
+
+    Parameters
+    ----------
+    engine:
+        An :class:`FSDPEngine` or :class:`DDPEngine` wrapping a
+        :class:`MaskedAutoencoder`.
+    images:
+        Pretraining corpus, ``(N, C, H, W)``.
+    global_batch:
+        Global batch size; must be divisible by the world size.
+    schedule:
+        Step -> learning rate. Defaults to the paper's recipe scaled to
+        the run length (cosine, 10% warmup).
+    seed:
+        Controls shuffling and masking noise only (weights were seeded at
+        model construction).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        images: np.ndarray,
+        global_batch: int,
+        schedule: Callable[[int], float] | None = None,
+        seed: int = 0,
+    ):
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
+        world_size = engine.world.size
+        if global_batch % world_size != 0:
+            raise ValueError(
+                f"global batch {global_batch} not divisible by world {world_size}"
+            )
+        if global_batch > len(images):
+            raise ValueError(
+                f"global batch {global_batch} exceeds corpus size {len(images)}"
+            )
+        if not isinstance(engine.model, MaskedAutoencoder):
+            raise TypeError("MAEPretrainer requires a MaskedAutoencoder model")
+        self.engine = engine
+        self.images = images
+        self.global_batch = global_batch
+        self.schedule = schedule
+        self.seed = seed
+        self.steps_per_epoch = len(images) // global_batch
+
+    def _epoch_order(self, epoch: int) -> np.ndarray:
+        rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([self.seed, 7919, epoch]))
+        )
+        return rng.permutation(len(self.images))
+
+    def _step_noise(self, step: int, batch: int, n_patches: int) -> np.ndarray:
+        rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([self.seed, 104729, step]))
+        )
+        return rng.random((batch, n_patches))
+
+    def run(self, n_steps: int, start_step: int = 0) -> TrainResult:
+        """Train for steps ``[start_step, start_step + n_steps)``.
+
+        ``start_step`` resumes an interrupted run: the data order,
+        masking noise, and schedule are pure functions of the absolute
+        step, so restoring an engine snapshot and passing the saved step
+        count continues the original trajectory exactly (tested).
+        """
+        if n_steps <= 0:
+            raise ValueError(f"n_steps must be positive, got {n_steps}")
+        if start_step < 0:
+            raise ValueError(f"start_step must be non-negative, got {start_step}")
+        model: MaskedAutoencoder = self.engine.model
+        n_patches = model.cfg.encoder.n_patches
+        schedule = self.schedule
+        if schedule is None:
+            schedule = CosineWithWarmup(
+                base_lr=self.engine.lr,
+                total_steps=start_step + n_steps,
+                warmup_steps=max(1, (start_step + n_steps) // 10),
+            )
+        world_size = self.engine.world.size
+        micro = self.global_batch // world_size
+        result = TrainResult(steps_per_epoch=self.steps_per_epoch)
+        order = self._epoch_order(start_step // self.steps_per_epoch)
+        for step in range(start_step, start_step + n_steps):
+            epoch, pos = divmod(step, self.steps_per_epoch)
+            if pos == 0 and step > 0:
+                order = self._epoch_order(epoch)
+            idx = order[pos * self.global_batch : (pos + 1) * self.global_batch]
+            imgs = self.images[idx]
+            noise = self._step_noise(step, self.global_batch, n_patches)
+            micros = [
+                (imgs[r * micro : (r + 1) * micro], noise[r * micro : (r + 1) * micro])
+                for r in range(world_size)
+            ]
+            self.engine.lr = schedule(step)
+            loss = self.engine.train_step(micros, _mae_step_fn)
+            result.losses.append(loss)
+            result.lrs.append(self.engine.lr)
+        return result

@@ -1,0 +1,53 @@
+"""Data substrate: synthetic geospatial imagery and loading machinery.
+
+The paper pretrains on MillionAID and probes on UCM / AID / NWPU — none
+redistributable or usable offline at this scale. This package provides
+the synthetic equivalent: a procedural remote-sensing scene generator
+with land-cover-like classes (fields, urban grids, water, forest, ...)
+whose parameters control intra-class variation and sensor noise, plus
+dataset builders matching each paper dataset's class count and
+train/test ratio (scaled down), a deterministic dataloader, and a
+distributed sampler.
+
+- :mod:`repro.data.synthetic` — the scene generator.
+- :mod:`repro.data.datasets` — MillionAID/UCM/AID/NWPU analogues.
+- :mod:`repro.data.dataloader` — batching and shuffling.
+- :mod:`repro.data.transforms` — normalization / augmentation.
+- :mod:`repro.data.sampler` — rank-sharded sampling.
+"""
+
+from repro.data.dataloader import DataLoader
+from repro.data.datasets import (
+    DATASET_SPECS,
+    ArrayDataset,
+    DatasetSpec,
+    SplitDataset,
+    build_dataset,
+    build_pretraining_corpus,
+)
+from repro.data.sampler import DistributedSampler
+from repro.data.segmentation import (
+    SegmentationDataset,
+    build_segmentation_dataset,
+    patch_majority_labels,
+)
+from repro.data.synthetic import SceneGenerator
+from repro.data.transforms import augment_view, normalize_images, random_flip
+
+__all__ = [
+    "SceneGenerator",
+    "ArrayDataset",
+    "SplitDataset",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "build_dataset",
+    "build_pretraining_corpus",
+    "DataLoader",
+    "DistributedSampler",
+    "normalize_images",
+    "random_flip",
+    "augment_view",
+    "SegmentationDataset",
+    "build_segmentation_dataset",
+    "patch_majority_labels",
+]

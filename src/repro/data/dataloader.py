@@ -1,0 +1,69 @@
+"""Deterministic batching over in-memory datasets.
+
+A minimal analogue of ``torch.utils.data.DataLoader`` for NumPy arrays:
+per-epoch shuffling from an explicit seed, optional last-batch dropping,
+and fancy-indexed (vectorized) batch assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Deterministic mini-batch iterator over an :class:`ArrayDataset`."""
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if batch_size > len(dataset):
+            raise ValueError(
+                f"batch_size {batch_size} exceeds dataset size {len(dataset)}"
+            )
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.drop_last = drop_last
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Select which epoch's permutation the next iteration uses."""
+        self._epoch = epoch
+
+    def _order(self) -> np.ndarray:
+        if not self.shuffle:
+            return np.arange(len(self.dataset))
+        rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([self.seed, 517, self._epoch]))
+        )
+        return rng.permutation(len(self.dataset))
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = self._order()
+        # Advance immediately: a partially-consumed iterator must not
+        # make the next iteration replay the same permutation.
+        self._epoch += 1
+        n = len(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]

@@ -1,0 +1,46 @@
+"""Rank-sharded sampling (the analogue of ``DistributedSampler``).
+
+Every rank sees a disjoint, equally-sized slice of each epoch's
+permutation; the permutation depends only on (seed, epoch), so the union
+over ranks is exactly the single-process epoch — which keeps distributed
+training equivalent to the single-process reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DistributedSampler"]
+
+
+class DistributedSampler:
+    """Deterministic rank-sharded epoch sampler (see module docstring)."""
+    def __init__(
+        self,
+        n_items: int,
+        world_size: int,
+        rank: int,
+        seed: int = 0,
+        drop_last: bool = True,
+    ):
+        if n_items <= 0:
+            raise ValueError(f"n_items must be positive, got {n_items}")
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world {world_size}")
+        if not drop_last and n_items % world_size != 0:
+            raise NotImplementedError(
+                "padding mode is not implemented; use drop_last=True"
+            )
+        self.n_items = n_items
+        self.world_size = world_size
+        self.rank = rank
+        self.seed = seed
+        self.per_rank = n_items // world_size
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        """This rank's indices for ``epoch`` (contiguous slice of the perm)."""
+        rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([self.seed, 31337, epoch]))
+        )
+        perm = rng.permutation(self.n_items)[: self.per_rank * self.world_size]
+        return perm[self.rank :: self.world_size]

@@ -1,0 +1,190 @@
+"""Fine-tuning protocols (paper Section II, 'Evaluation protocols for FMs').
+
+The paper describes the spectrum of downstream adaptation: from linear
+probing (everything frozen; Section V) through partial fine-tuning
+(freeze the first k blocks) to full fine-tuning, contrasted against
+fully-supervised from-scratch baselines. The paper runs only linear
+probing at scale; this module implements the rest of the spectrum so the
+comparison can be made at proxy scale:
+
+- :func:`vit_from_mae` — initialize a classification ViT from an
+  MAE-pretrained encoder (the standard transfer step);
+- :func:`finetune` — supervised training with an optional frozen prefix
+  (``freeze_blocks=k`` freezes the embeddings and the first k blocks;
+  ``from_scratch=True`` skips the pretrained initialization entirely,
+  giving the supervised baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ViTConfig
+from repro.data.datasets import SplitDataset
+from repro.eval.metrics import topk_accuracy
+from repro.models.mae import MaskedAutoencoder
+from repro.models.vit import VisionTransformer
+from repro.optim.adamw import AdamW
+from repro.optim.schedules import CosineWithWarmup
+
+__all__ = ["FinetuneResult", "vit_from_mae", "finetune"]
+
+
+@dataclass
+class FinetuneResult:
+    """Per-epoch records of one fine-tuning run."""
+
+    dataset: str
+    model: str
+    freeze_blocks: int
+    from_scratch: bool
+    top1: list[float] = field(default_factory=list)
+    top5: list[float] = field(default_factory=list)
+    train_losses: list[float] = field(default_factory=list)
+    n_trainable: int = 0
+
+    @property
+    def final_top1(self) -> float:
+        """Top-1 accuracy after the last epoch."""
+        return self.top1[-1]
+
+
+def vit_from_mae(
+    mae: MaskedAutoencoder, n_classes: int, rng: np.random.Generator | None = None
+) -> VisionTransformer:
+    """Build a classifier ViT initialized from an MAE encoder.
+
+    Copies patch embedding, class token, encoder blocks, and the final
+    norm; the classification head is freshly initialized.
+    """
+    cfg: ViTConfig = mae.cfg.encoder
+    rng = rng if rng is not None else np.random.default_rng(0)
+    vit = VisionTransformer(cfg, n_classes=n_classes, rng=rng)
+    mapping = {
+        "patch_embed.proj.weight": "patch_proj.weight",
+        "patch_embed.proj.bias": "patch_proj.bias",
+        "cls_token": "cls_token",
+        "norm.gamma": "enc_norm.gamma",
+        "norm.beta": "enc_norm.beta",
+    }
+    for i in range(cfg.depth):
+        for suffix in (
+            "ln1.gamma", "ln1.beta", "attn.qkv.weight", "attn.qkv.bias",
+            "attn.proj.weight", "attn.proj.bias", "ln2.gamma", "ln2.beta",
+            "mlp.fc1.weight", "mlp.fc1.bias", "mlp.fc2.weight", "mlp.fc2.bias",
+        ):
+            mapping[f"block{i}.{suffix}"] = f"enc_block{i}.{suffix}"
+    mae_params = dict(mae.named_parameters())
+    vit_params = dict(vit.named_parameters())
+    for vit_name, mae_name in mapping.items():
+        vit_params[vit_name].data[...] = mae_params[mae_name].data
+    return vit
+
+
+def _trainable_params(vit: VisionTransformer, freeze_blocks: int):
+    """Parameters updated during fine-tuning (frozen prefix excluded)."""
+    depth = vit.cfg.depth
+    if not 0 <= freeze_blocks <= depth:
+        raise ValueError(
+            f"freeze_blocks must be in [0, {depth}], got {freeze_blocks}"
+        )
+    frozen_prefixes = ["patch_embed.", "cls_token"] if freeze_blocks > 0 else []
+    frozen_prefixes += [f"block{i}." for i in range(freeze_blocks)]
+    out = []
+    for name, p in vit.named_parameters():
+        if any(name.startswith(pre) for pre in frozen_prefixes):
+            continue
+        out.append(p)
+    return out
+
+
+def _softmax_ce(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    z = logits - logits.max(axis=1, keepdims=True)
+    logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+    n = len(labels)
+    loss = -float(logp[np.arange(n), labels].mean())
+    grad = np.exp(logp)
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def finetune(
+    source: MaskedAutoencoder | None,
+    data: SplitDataset,
+    epochs: int = 10,
+    batch_size: int = 32,
+    base_lr: float = 5e-4,
+    freeze_blocks: int = 0,
+    from_scratch: bool = False,
+    seed: int = 0,
+    model_name: str = "",
+) -> FinetuneResult:
+    """Fine-tune (or train from scratch) a classifier on one dataset.
+
+    ``source=None`` requires ``from_scratch=True``; otherwise the ViT is
+    initialized from the MAE encoder. Returns per-epoch test accuracy.
+    """
+    if epochs <= 0:
+        raise ValueError(f"epochs must be positive, got {epochs}")
+    if from_scratch:
+        if source is None:
+            raise ValueError("from_scratch=True requires a config source")
+        cfg = source.cfg.encoder
+        vit = VisionTransformer(
+            cfg, n_classes=data.spec.n_classes,
+            rng=np.random.default_rng(seed + 17),
+        )
+    else:
+        if source is None:
+            raise ValueError("need a pretrained MAE unless from_scratch")
+        vit = vit_from_mae(
+            source, data.spec.n_classes, rng=np.random.default_rng(seed + 17)
+        )
+    params = _trainable_params(vit, freeze_blocks)
+    opt = AdamW(params, lr=base_lr, weight_decay=0.05)
+    n_train = len(data.train)
+    batch_size = min(batch_size, n_train)
+    steps_per_epoch = max(1, n_train // batch_size)
+    schedule = CosineWithWarmup(
+        base_lr=base_lr,
+        total_steps=epochs * steps_per_epoch,
+        warmup_steps=steps_per_epoch,
+    )
+    result = FinetuneResult(
+        dataset=data.spec.name,
+        model=model_name,
+        freeze_blocks=freeze_blocks,
+        from_scratch=from_scratch,
+        n_trainable=sum(p.size for p in params),
+    )
+    k5 = min(5, data.spec.n_classes)
+    step = 0
+    for epoch in range(epochs):
+        order = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([seed, 23, epoch]))
+        ).permutation(n_train)
+        losses = []
+        for b in range(steps_per_epoch):
+            idx = order[b * batch_size : (b + 1) * batch_size]
+            imgs, labels = data.train.images[idx], data.train.labels[idx]
+            logits = vit(imgs)
+            loss, dlogits = _softmax_ce(logits, labels)
+            vit.zero_grad()
+            vit.backward(dlogits)
+            opt.lr = schedule(step)
+            opt.step()
+            step += 1
+            losses.append(loss)
+        result.train_losses.append(float(np.mean(losses)))
+        # Evaluate in minibatches to bound memory.
+        test_logits = np.concatenate(
+            [
+                vit(data.test.images[i : i + 128])
+                for i in range(0, len(data.test), 128)
+            ]
+        )
+        result.top1.append(topk_accuracy(test_logits, data.test.labels, k=1))
+        result.top5.append(topk_accuracy(test_logits, data.test.labels, k=k5))
+    return result

@@ -1,0 +1,44 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_accuracy", "confusion_matrix"]
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose true label is among the top-k logits.
+
+    Ties are broken by class index (stable), matching the usual argsort
+    convention.
+    """
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    if len(logits) != len(labels):
+        raise ValueError("logits/labels length mismatch")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k={k} out of range for {logits.shape[1]} classes")
+    if len(logits) == 0:
+        raise ValueError("empty batch")
+    # argpartition is O(N C) vs argsort's O(N C log C).
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (topk == np.asarray(labels)[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(
+    pred: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """(n_classes, n_classes) counts; rows = true class, cols = predicted."""
+    pred = np.asarray(pred, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if pred.shape != labels.shape:
+        raise ValueError("pred/labels shape mismatch")
+    if ((pred < 0) | (pred >= n_classes)).any():
+        raise ValueError("prediction out of class range")
+    if ((labels < 0) | (labels >= n_classes)).any():
+        raise ValueError("label out of class range")
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(cm, (labels, pred), 1)
+    return cm

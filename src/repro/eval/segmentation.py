@@ -1,0 +1,134 @@
+"""Patch-level semantic-segmentation probing (paper future work).
+
+Protocol, mirroring the linear-probe philosophy: the pretrained encoder
+is frozen; a single linear classifier maps each *patch token* to a
+land-cover-family label; quality is mean intersection-over-union (mIoU)
+and patch accuracy on held-out scenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.segmentation import SegmentationDataset
+from repro.models.layers import Linear
+from repro.models.mae import MaskedAutoencoder
+from repro.optim.lars import LARS
+from repro.optim.schedules import CosineWithWarmup
+
+__all__ = ["SegProbeResult", "mean_iou", "segmentation_probe"]
+
+
+def mean_iou(pred: np.ndarray, target: np.ndarray, n_classes: int) -> float:
+    """Mean IoU over the classes present in ``target`` or ``pred``."""
+    pred = np.asarray(pred).reshape(-1)
+    target = np.asarray(target).reshape(-1)
+    if pred.shape != target.shape:
+        raise ValueError("pred/target shape mismatch")
+    ious = []
+    for c in range(n_classes):
+        p = pred == c
+        t = target == c
+        union = np.logical_or(p, t).sum()
+        if union == 0:
+            continue  # class absent everywhere: skip, as is conventional
+        ious.append(np.logical_and(p, t).sum() / union)
+    if not ious:
+        raise ValueError("no classes present")
+    return float(np.mean(ious))
+
+
+@dataclass
+class SegProbeResult:
+    model: str
+    miou: list[float] = field(default_factory=list)  # per epoch
+    patch_acc: list[float] = field(default_factory=list)
+    train_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_miou(self) -> float:
+        """mIoU after the last probing epoch."""
+        return self.miou[-1]
+
+    @property
+    def final_patch_acc(self) -> float:
+        """Patch accuracy after the last probing epoch."""
+        return self.patch_acc[-1]
+
+
+def _extract_tokens(
+    model: MaskedAutoencoder, images: np.ndarray, batch: int = 32
+) -> np.ndarray:
+    chunks = [
+        model.encode_patch_tokens(images[i : i + batch])
+        for i in range(0, len(images), batch)
+    ]
+    return np.concatenate(chunks, axis=0)
+
+
+def segmentation_probe(
+    model: MaskedAutoencoder,
+    train: SegmentationDataset,
+    test: SegmentationDataset,
+    epochs: int = 20,
+    batch_size: int = 16,
+    base_lr: float = 0.1,
+    seed: int = 0,
+    model_name: str = "",
+) -> SegProbeResult:
+    """Train a frozen-feature per-patch linear classifier; report mIoU."""
+    if epochs <= 0:
+        raise ValueError(f"epochs must be positive, got {epochs}")
+    if train.patch != test.patch:
+        raise ValueError("train/test patch sizes differ")
+    tokens_tr = _extract_tokens(model, train.images)  # (N, P, W)
+    tokens_te = _extract_tokens(model, test.images)
+    n, p, w = tokens_tr.shape
+    # Standardize with train statistics (flattened over patches).
+    flat = tokens_tr.reshape(-1, w)
+    mu = flat.mean(axis=0, keepdims=True)
+    sd = flat.std(axis=0, keepdims=True) + 1e-6
+    tokens_tr = (tokens_tr - mu) / sd
+    tokens_te = (tokens_te - mu) / sd
+
+    head_rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence([seed, 19])))
+    head = Linear(w, train.n_classes, rng=head_rng)
+    head.weight.data[...] = 0.0
+    opt = LARS([head.weight, head.bias], lr=base_lr, weight_decay=0.0)
+    batch_size = min(batch_size, n)
+    steps_per_epoch = max(1, n // batch_size)
+    schedule = CosineWithWarmup(
+        base_lr, epochs * steps_per_epoch, warmup_steps=steps_per_epoch
+    )
+    result = SegProbeResult(model=model_name)
+    step = 0
+    y_tr = train.patch_labels
+    for epoch in range(epochs):
+        order = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([seed, 29, epoch]))
+        ).permutation(n)
+        losses = []
+        for b in range(steps_per_epoch):
+            idx = order[b * batch_size : (b + 1) * batch_size]
+            x = tokens_tr[idx].reshape(-1, w)
+            y = y_tr[idx].reshape(-1)
+            logits = head(x)
+            z = logits - logits.max(axis=1, keepdims=True)
+            logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+            loss = -float(logp[np.arange(len(y)), y].mean())
+            grad = np.exp(logp)
+            grad[np.arange(len(y)), y] -= 1.0
+            head.zero_grad()
+            head.backward(grad / len(y))
+            opt.lr = schedule(step)
+            opt.step()
+            step += 1
+            losses.append(loss)
+        result.train_losses.append(float(np.mean(losses)))
+        pred = head(tokens_te.reshape(-1, w)).argmax(axis=1)
+        target = test.patch_labels.reshape(-1)
+        result.miou.append(mean_iou(pred, target, train.n_classes))
+        result.patch_acc.append(float((pred == target).mean()))
+    return result

@@ -1,0 +1,127 @@
+"""Command-line experiment runner.
+
+Regenerate any paper artifact directly::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig3
+    python -m repro.experiments all        # everything but the slow ones
+    python -m repro.experiments fig5       # pretrains (cached) proxy suite
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+_FAST = ["table1", "table2", "fig1", "fig2", "fig3", "fig4", "ablations"]
+_SLOW = [
+    "fig5", "table3", "fig6",
+    "fewshot", "adaptation", "ssl", "segmentation",
+]
+
+
+def _render(name: str) -> str:
+    # Imports deferred so `--help` stays instant.
+    if name == "table1":
+        from repro.experiments.table1 import render_table1
+
+        return render_table1()
+    if name == "table2":
+        from repro.experiments.table2 import render_table2
+
+        return render_table2()
+    if name == "fig1":
+        from repro.experiments.fig1 import render_fig1
+
+        return render_fig1()
+    if name == "fig2":
+        from repro.experiments.fig2 import render_fig2
+
+        return render_fig2()
+    if name == "fig3":
+        from repro.experiments.fig3 import render_fig3
+
+        return render_fig3()
+    if name == "fig4":
+        from repro.experiments.fig4 import render_fig4
+
+        return render_fig4()
+    if name == "fig5":
+        from repro.experiments.fig5 import render_fig5
+
+        return render_fig5()
+    if name == "table3":
+        from repro.experiments.table3 import render_table3
+
+        return render_table3()
+    if name == "fig6":
+        from repro.experiments.fig6 import render_fig6
+
+        return render_fig6()
+    if name == "ablations":
+        from repro.experiments.ablations import (
+            render_bucket_sweep,
+            render_contention_sweep,
+            render_shard_group_sweep,
+        )
+
+        return "\n\n".join(
+            [
+                render_bucket_sweep(),
+                render_shard_group_sweep(),
+                render_contention_sweep(),
+            ]
+        )
+    if name == "fewshot":
+        from repro.experiments.fewshot import render_fewshot, run_fewshot
+
+        return render_fewshot(run_fewshot())
+    if name == "adaptation":
+        from repro.experiments.adaptation import render_adaptation, run_adaptation
+
+        return render_adaptation(run_adaptation())
+    if name == "ssl":
+        from repro.experiments.ssl_compare import (
+            render_ssl_compare,
+            run_ssl_compare,
+        )
+
+        return render_ssl_compare(run_ssl_compare())
+    if name == "segmentation":
+        from repro.experiments.segmentation_exp import (
+            render_segmentation,
+            run_segmentation,
+        )
+
+        return render_segmentation(run_segmentation())
+    raise KeyError(name)
+
+
+def main(argv: list[str]) -> int:
+    """Run the named experiments; returns a process exit code."""
+    known = _FAST + _SLOW
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print(f"experiments: {', '.join(known)}, all (= fast set)")
+        return 0
+    targets = _FAST if argv == ["all"] else argv
+    unknown = [t for t in targets if t not in known]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; known: {known}")
+        return 2
+    for name in targets:
+        t0 = time.perf_counter()
+        body = _render(name)
+        dt = time.perf_counter() - t0
+        bar = "=" * 78
+        print(f"{bar}\n{name}  ({dt:.1f}s)\n{bar}\n{body}\n")
+    return 0
+
+
+def cli() -> None:
+    """Console-script entry point (``repro-experiments``)."""
+    raise SystemExit(main(sys.argv[1:]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,93 @@
+"""Fig. 1 — weak scaling of the MAE ViT-3B pretraining workload.
+
+Reproduces the four curves of the paper's Figure 1 on 1..64 Frontier
+nodes with FSDP NO_SHARD and local batch 32: *real* application,
+*syn*(thetic data: compute + communication), *syn no comm*, *IO*
+(dataloader in isolation), plus the *ideal* linear extrapolation.
+
+Expected shapes (paper Section IV-A):
+
+- IO is faster than syn at every node count and the (absolute) gap grows
+  with scale -> the application is never IO-bound;
+- syn-no-comm tracks ideal; syn falls away as communication grows,
+  reaching ~22% of the step at 64 nodes;
+- real sits just below syn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MAEConfig, get_mae_config
+from repro.core.scaling import ScalingSeries, run_weak_scaling
+from repro.experiments.report import render_series
+
+__all__ = ["Fig1Result", "run_fig1", "render_fig1", "DEFAULT_NODE_GRID"]
+
+DEFAULT_NODE_GRID = [1, 2, 4, 8, 16, 32, 64]
+
+#: 512 px in the paper; patch-14 models need a multiple of 14 -> 504.
+MAE_IMG_SIZE = 504
+
+
+@dataclass
+class Fig1Result:
+    mae: MAEConfig
+    series: ScalingSeries
+
+    @property
+    def node_counts(self) -> list[int]:
+        """Node counts of the sweep."""
+        return self.series.node_counts
+
+    def curves(self) -> dict[str, list[float]]:
+        """The figure's five series keyed by curve name."""
+        pts = [p.breakdown for p in self.series.points]
+        return {
+            "real": [b.ips_real for b in pts],
+            "syn": [b.ips for b in pts],
+            "syn_no_comm": [b.ips_no_comm for b in pts],
+            "io": [b.ips_io for b in pts],
+            "ideal": self.series.ideal_ips(),
+        }
+
+    def comm_fractions(self) -> list[float]:
+        """Exposed-communication share per node count."""
+        return [p.breakdown.comm_fraction for p in self.series.points]
+
+
+def run_fig1(node_counts: list[int] | None = None) -> Fig1Result:
+    """Run the Fig. 1 weak-scaling sweep (MAE ViT-3B, NO_SHARD)."""
+    nodes = node_counts if node_counts is not None else DEFAULT_NODE_GRID
+    mae = get_mae_config("vit-3b", img_size=MAE_IMG_SIZE)
+    series = run_weak_scaling(mae, "NO_SHARD", nodes)
+    return Fig1Result(mae=mae, series=series)
+
+
+def render_fig1(result: Fig1Result | None = None) -> str:
+    """Render Fig. 1 as a table, chart, and communication-share line."""
+    from repro.experiments.asciiplot import line_chart
+
+    result = result if result is not None else run_fig1()
+    curves = result.curves()
+    body = render_series(
+        "nodes",
+        result.node_counts,
+        curves,
+        title="Fig 1: MAE ViT-3B weak scaling, NO_SHARD, local batch 32 (ips)",
+    )
+    chart = line_chart(
+        result.node_counts,
+        curves,
+        title="ips vs nodes (log-log)",
+        logx=True,
+        logy=True,
+    )
+    comm = ", ".join(
+        f"{n}n={100 * f:.1f}%"
+        for n, f in zip(result.node_counts, result.comm_fractions())
+    )
+    return (
+        f"{body}\n\n{chart}\n\ncommunication share of step: {comm}\n"
+        "(paper: ~22% at 64 nodes)"
+    )

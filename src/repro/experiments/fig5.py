@@ -1,0 +1,83 @@
+"""Fig. 5 — MAE pretraining loss vs step for the four model sizes.
+
+Pretrains (or loads) the proxy suite with identical hyper-parameters and
+reports per-epoch mean losses. Expected shape: larger models reach lower
+loss, separation visible through training (paper shows ViT-Huge/1B/3B
+clearly below ViT-Base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.downstream import (
+    DownstreamRecipe,
+    PretrainedModel,
+    pretrain_suite,
+)
+from repro.experiments.report import render_series
+
+__all__ = ["Fig5Result", "run_fig5", "render_fig5"]
+
+
+@dataclass
+class Fig5Result:
+    suite: dict[str, PretrainedModel]
+
+    def loss_curves(self, smooth: int = 10) -> dict[str, list[float]]:
+        """Per-model smoothed loss (non-overlapping window means)."""
+        out = {}
+        for name, pm in self.suite.items():
+            arr = np.asarray(pm.losses)
+            n = len(arr) // smooth
+            out[pm.paper_name] = [
+                float(arr[i * smooth : (i + 1) * smooth].mean()) for i in range(n)
+            ]
+        return out
+
+    def final_losses(self, tail: int = 20) -> dict[str, float]:
+        """Mean loss over the last ``tail`` steps, per model."""
+        return {
+            pm.paper_name: float(np.mean(pm.losses[-tail:]))
+            for pm in self.suite.values()
+        }
+
+    def early_losses(self, window: slice = slice(20, 60)) -> dict[str, float]:
+        """Mean loss over a mid-training window, per model."""
+        out = {}
+        for pm in self.suite.values():
+            segment = pm.losses[window]
+            if not segment:  # short runs: fall back to the whole curve
+                segment = pm.losses
+            out[pm.paper_name] = float(np.mean(segment))
+        return out
+
+
+def run_fig5(
+    recipe: DownstreamRecipe | None = None, cache_dir: str | None = None
+) -> Fig5Result:
+    """Pretrain (or load) the suite and package its loss curves."""
+    kwargs = {} if cache_dir is None else {"cache_dir": cache_dir}
+    return Fig5Result(suite=pretrain_suite(recipe, **kwargs))
+
+
+def render_fig5(result: Fig5Result | None = None) -> str:
+    """Render Fig. 5's loss table plus mid/final loss summaries."""
+    result = result if result is not None else run_fig5()
+    curves = result.loss_curves()
+    n = min(len(v) for v in curves.values())
+    body = render_series(
+        "window",
+        list(range(n)),
+        {k: v[:n] for k, v in curves.items()},
+        title="Fig 5: MAE pretraining loss (10-step window means)",
+        precision=4,
+    )
+    finals = ", ".join(f"{k}={v:.4f}" for k, v in result.final_losses().items())
+    earlies = ", ".join(f"{k}={v:.4f}" for k, v in result.early_losses().items())
+    return (
+        f"{body}\nmid-training loss: {earlies}\nfinal loss: {finals}\n"
+        "(paper: larger models reach lower pretraining loss)"
+    )

@@ -1,0 +1,28 @@
+"""Machine model of the Frontier supercomputer (and parametric variants).
+
+- :mod:`repro.hardware.gpu` — one accelerator die (GCD): peak FLOP/s,
+  HBM capacity, and a matmul-efficiency curve.
+- :mod:`repro.hardware.topology` — hierarchical topology graph
+  (GCD <-> MI250X package <-> node <-> interconnect) built on networkx.
+- :mod:`repro.hardware.frontier` — published Frontier constants and the
+  factory that assembles a :class:`Machine` plus the calibrated
+  :class:`~repro.comm.cost_model.CollectiveCostModel`.
+- :mod:`repro.hardware.power` — occupancy-driven GPU power/utilization
+  trace model (reproduces the paper's Fig. 4 rocm-smi panel).
+"""
+
+from repro.hardware.frontier import FRONTIER, Machine, frontier_machine
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.power import PowerModel, PowerTrace
+from repro.hardware.topology import build_machine_graph, min_path_bandwidth
+
+__all__ = [
+    "GpuSpec",
+    "Machine",
+    "FRONTIER",
+    "frontier_machine",
+    "build_machine_graph",
+    "min_path_bandwidth",
+    "PowerModel",
+    "PowerTrace",
+]

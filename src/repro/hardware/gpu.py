@@ -1,0 +1,61 @@
+"""Accelerator (GCD) specification and achievable-throughput model.
+
+Frontier's MI250X package contains two Graphics Compute Dies; the system
+exposes each GCD as an independent GPU with 64 GB HBM and ~95.7 TFLOP/s
+peak fp32 matrix throughput (191.5 TFLOP/s per MI250X package). Dense
+transformer workloads never reach peak: achieved throughput depends on
+matmul shapes, and small models with narrow matrices run at markedly
+lower efficiency. We model this with a saturating efficiency curve in the
+model width, calibrated against the paper's per-node ips baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSpec"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GCD.
+
+    Attributes
+    ----------
+    peak_flops:
+        Peak dense fp32 matrix FLOP/s.
+    hbm_bytes:
+        High-bandwidth-memory capacity in bytes.
+    hbm_bw:
+        HBM bandwidth in bytes/s (per GCD).
+    base_efficiency:
+        Fraction of peak achieved by an extremely wide, compute-saturated
+        matmul stream.
+    half_saturation_width:
+        Model width at which efficiency reaches half of
+        ``base_efficiency`` (captures launch/memory-bound losses for
+        narrow layers).
+    """
+
+    name: str = "MI250X-GCD"
+    peak_flops: float = 95.7e12
+    hbm_bytes: float = 64 * 1024**3
+    hbm_bw: float = 1.6e12
+    base_efficiency: float = 0.50
+    half_saturation_width: float = 700.0
+
+    def efficiency(self, width: float) -> float:
+        """Achieved fraction of peak for a transformer of embedding ``width``."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        return self.base_efficiency * width / (width + self.half_saturation_width)
+
+    def achieved_flops(self, width: float) -> float:
+        """Achievable FLOP/s for a transformer of embedding ``width``."""
+        return self.peak_flops * self.efficiency(width)
+
+    def time_for_flops(self, flops: float, width: float) -> float:
+        """Seconds to execute ``flops`` at the width-dependent efficiency."""
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        return flops / self.achieved_flops(width)

@@ -1,0 +1,120 @@
+"""Occupancy-driven GPU power / utilization / memory trace model.
+
+Reproduces the paper's Fig. 4 bottom-left panel (rocm-smi traces for the
+ViT-5B runs): per-GPU power, memory, and utilization sampled over time for
+a given sharding strategy. The model maps the simulator's per-step
+compute/communication occupancies to rocm-smi-like observables:
+
+- *utilization* reports near 100% whenever kernels are resident (the
+  paper notes ~100% for all strategies on synthetic data) — rocm-smi
+  utilization counts "any kernel active", not FLOP efficiency;
+- *power* scales with true arithmetic occupancy plus a smaller
+  contribution from communication (link SerDes + DMA engines burn less
+  than the matrix cores), so strategies that spend more wall time
+  computing per byte moved draw more power, matching the paper's
+  SHARD_GRAD_OP > FULL_SHARD ordering and HYBRID_2GPUs having the
+  smallest footprint (fewest communication calls, shortest step);
+- *memory* is the strategy's resident footprint from the memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerModel", "PowerTrace"]
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """Sampled per-GPU trace of one training phase."""
+
+    times_s: np.ndarray
+    power_w: np.ndarray
+    utilization_pct: np.ndarray
+    memory_bytes: np.ndarray
+    label: str = ""
+
+    @property
+    def mean_power(self) -> float:
+        """Mean sampled power (W)."""
+        return float(self.power_w.mean())
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean sampled utilization (%)."""
+        return float(self.utilization_pct.mean())
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Maps occupancies to rocm-smi-style observables for one GCD.
+
+    Attributes
+    ----------
+    idle_power_w:
+        Power with no kernels resident.
+    max_power_w:
+        Package power at full matrix-core occupancy (MI250X is 500 W per
+        package; we report per GCD).
+    comm_power_fraction:
+        Fraction of the dynamic range drawn by communication-only phases.
+    """
+
+    idle_power_w: float = 90.0
+    max_power_w: float = 280.0
+    comm_power_fraction: float = 0.45
+
+    def power(self, compute_occupancy: float, comm_occupancy: float) -> float:
+        """Average power for one step with given stream occupancies in [0,1]."""
+        for name, v in (("compute", compute_occupancy), ("comm", comm_occupancy)):
+            if not 0.0 <= v <= 1.0 + 1e-9:
+                raise ValueError(f"{name} occupancy must be in [0, 1], got {v}")
+        dynamic = self.max_power_w - self.idle_power_w
+        # Overlapped portions count once at the higher (compute) rate.
+        comm_only = max(0.0, comm_occupancy - compute_occupancy)
+        return (
+            self.idle_power_w
+            + dynamic * compute_occupancy
+            + dynamic * self.comm_power_fraction * comm_only
+        )
+
+    def utilization(self, compute_occupancy: float, comm_occupancy: float) -> float:
+        """rocm-smi 'GPU use' percentage: any-kernel-resident time share."""
+        busy = min(1.0, compute_occupancy + max(0.0, comm_occupancy - compute_occupancy))
+        return 100.0 * busy
+
+    def trace(
+        self,
+        step_time_s: float,
+        compute_occupancy: float,
+        comm_occupancy: float,
+        memory_bytes: float,
+        n_steps: int = 50,
+        samples_per_step: int = 4,
+        label: str = "",
+        jitter_seed: int = 0,
+    ) -> PowerTrace:
+        """Synthesize a sampled trace over ``n_steps`` identical steps.
+
+        A small deterministic jitter makes the trace visually comparable
+        to rocm-smi sampling noise without affecting means.
+        """
+        if step_time_s <= 0:
+            raise ValueError(f"step_time_s must be positive, got {step_time_s}")
+        n = n_steps * samples_per_step
+        rng = np.random.Generator(np.random.PCG64(jitter_seed))
+        t = np.arange(n) * (step_time_s / samples_per_step)
+        p = self.power(compute_occupancy, comm_occupancy)
+        u = self.utilization(compute_occupancy, comm_occupancy)
+        power = p * (1.0 + 0.02 * rng.standard_normal(n))
+        util = np.clip(u * (1.0 + 0.005 * rng.standard_normal(n)), 0.0, 100.0)
+        mem = np.full(n, float(memory_bytes))
+        return PowerTrace(
+            times_s=t,
+            power_w=power,
+            utilization_pct=util,
+            memory_bytes=mem,
+            label=label,
+        )

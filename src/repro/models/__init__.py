@@ -1,0 +1,51 @@
+"""From-scratch NumPy neural-network substrate (ViT + MAE).
+
+Every layer implements an explicit, hand-derived backward pass; tests
+validate each against central-difference gradients. All math is
+vectorized NumPy over contiguous arrays (no per-element Python loops),
+and parameter storage supports *views into flat buffers* so the FSDP
+engine can materialize parameters by all-gathering into one flat array
+per transformer block without copies.
+
+Modules:
+
+- :mod:`repro.models.module` — Parameter / Module base machinery.
+- :mod:`repro.models.functional` — gelu / softmax / layernorm primitives
+  with paired backward functions.
+- :mod:`repro.models.layers` — Linear, LayerNorm, GELU, Dropout, MLP.
+- :mod:`repro.models.attention` — multi-head self-attention.
+- :mod:`repro.models.blocks` — pre-norm transformer encoder block.
+- :mod:`repro.models.patch` — patchify / unpatchify, patch embedding.
+- :mod:`repro.models.vit` — Vision Transformer encoder (+ optional head).
+- :mod:`repro.models.mae` — masked autoencoder for ViT pretraining.
+- :mod:`repro.models.init` — weight initialization (trunc-normal, xavier).
+- :mod:`repro.models.posembed` — fixed 2-D sin-cos position embeddings.
+"""
+
+from repro.models.attention import MultiHeadSelfAttention
+from repro.models.blocks import TransformerBlock
+from repro.models.layers import GELU, MLP, Dropout, LayerNorm, Linear
+from repro.models.mae import MaskedAutoencoder
+from repro.models.module import Module, Parameter
+from repro.models.patch import PatchEmbed, patchify, unpatchify
+from repro.models.simclr import SimCLRModel, nt_xent
+from repro.models.vit import VisionTransformer
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "GELU",
+    "Dropout",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "TransformerBlock",
+    "PatchEmbed",
+    "patchify",
+    "unpatchify",
+    "VisionTransformer",
+    "MaskedAutoencoder",
+    "SimCLRModel",
+    "nt_xent",
+]

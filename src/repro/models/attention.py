@@ -1,0 +1,84 @@
+"""Multi-head self-attention with a hand-derived backward pass."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import functional as F
+from repro.models.layers import Linear
+from repro.models.module import DEFAULT_DTYPE, Module
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard ViT attention: fused qkv projection, softmax, output proj.
+
+    Input/output shape ``(B, N, W)``. The attention matrix is materialized
+    (``(B, H, N, N)``) — fine at the proxy scales this substrate trains;
+    the *performance model* of the full-size variants accounts for the
+    same matmuls analytically.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        heads: int,
+        rng: np.random.Generator | None = None,
+        dtype=DEFAULT_DTYPE,
+    ):
+        super().__init__()
+        if width % heads != 0:
+            raise ValueError(f"width {width} not divisible by heads {heads}")
+        self.width = width
+        self.heads = heads
+        self.head_dim = width // heads
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.qkv = Linear(width, 3 * width, rng=rng, dtype=dtype)
+        self.proj = Linear(width, width, rng=rng, dtype=dtype)
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, N, W) -> (B, H, N, Dh)."""
+        b, n, _ = x.shape
+        return x.reshape(b, n, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, N, Dh) -> (B, N, W)."""
+        b, h, n, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, n, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Attention over ``(B, N, W)`` tokens; caches q/k/v/attn."""
+        b, n, w = x.shape
+        if w != self.width:
+            raise ValueError(f"expected width {self.width}, got {w}")
+        qkv = self.qkv(x)  # (B, N, 3W)
+        q, k, v = (self._split_heads(t) for t in np.split(qkv, 3, axis=-1))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale  # (B, H, N, N)
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ v  # (B, H, N, Dh)
+        out = self.proj(self._merge_heads(ctx))
+        self._cache = (q, k, v, attn)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Hand-derived attention backward; returns d(input)."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        q, k, v, attn = self._cache
+        self._cache = None
+        dctx = self._split_heads(self.proj.backward(dout))  # (B, H, N, Dh)
+        dattn = dctx @ v.transpose(0, 1, 3, 2)  # (B, H, N, N)
+        dv = attn.transpose(0, 1, 3, 2) @ dctx  # (B, H, N, Dh)
+        dscores = F.softmax_backward(dattn, attn) * self.scale
+        dq = dscores @ k
+        dk = dscores.transpose(0, 1, 3, 2) @ q
+        dqkv = np.concatenate(
+            [self._merge_heads(t) for t in (dq, dk, dv)], axis=-1
+        )
+        return self.qkv.backward(dqkv)
+
+    def _clear_cache(self) -> None:
+        self._cache = None

@@ -1,0 +1,88 @@
+"""Stateless numeric primitives with paired backward functions.
+
+Each ``*_backward`` consumes the quantities its forward returned (avoiding
+recomputation, per the optimization guides: cache instead of recompute,
+operate in place where safe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gelu",
+    "gelu_backward",
+    "softmax",
+    "softmax_backward",
+    "layernorm",
+    "layernorm_backward",
+]
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+_GELU_C = 0.044715
+
+
+def gelu(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Tanh-approximated GELU (the variant in the original ViT/MAE code).
+
+    Returns ``(y, cache)`` where cache holds the inner tanh for backward.
+    """
+    inner = _SQRT_2_OVER_PI * (x + _GELU_C * x**3)
+    t = np.tanh(inner)
+    y = 0.5 * x * (1.0 + t)
+    return y, t
+
+
+def gelu_backward(dout: np.ndarray, x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """d/dx of tanh-GELU given the cached tanh value ``t``."""
+    # y = 0.5 x (1 + tanh(u)), u = c1 (x + c2 x^3)
+    # dy/dx = 0.5 (1 + t) + 0.5 x (1 - t^2) c1 (1 + 3 c2 x^2)
+    du = _SQRT_2_OVER_PI * (1.0 + 3.0 * _GELU_C * x * x)
+    return dout * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(dout: np.ndarray, y: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward of softmax given its output ``y``."""
+    return y * (dout - (dout * y).sum(axis=axis, keepdims=True))
+
+
+def layernorm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-6
+) -> tuple[np.ndarray, tuple]:
+    """LayerNorm over the last axis. Returns ``(y, cache)``."""
+    mu = x.mean(axis=-1, keepdims=True)
+    xc = x - mu
+    var = (xc * xc).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = xc * inv_std
+    y = xhat * gamma + beta
+    return y, (xhat, inv_std)
+
+
+def layernorm_backward(
+    dout: np.ndarray, gamma: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of layernorm. Returns ``(dx, dgamma, dbeta)``."""
+    xhat, inv_std = cache
+    d = xhat.shape[-1]
+    # Reduce over all leading axes for the parameter gradients.
+    reduce_axes = tuple(range(dout.ndim - 1))
+    dgamma = (dout * xhat).sum(axis=reduce_axes)
+    dbeta = dout.sum(axis=reduce_axes)
+    dxhat = dout * gamma
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    # Silence the unused-variable linter for d while documenting intent:
+    # the mean terms above already divide by d via .mean().
+    del d
+    return dx, dgamma, dbeta

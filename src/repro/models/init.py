@@ -1,0 +1,52 @@
+"""Weight initialization.
+
+Follows the official MAE code: xavier-uniform for linear weights
+(treating the weight as 2-D), zeros for biases, ones/zeros for LayerNorm,
+and a 0.02-std truncated normal for class / mask tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "trunc_normal", "zeros", "ones"]
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int, dtype=np.float64
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) matrix."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got ({fan_in}, {fan_out})")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(dtype)
+
+
+def trunc_normal(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    std: float = 0.02,
+    bound_stds: float = 2.0,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Truncated normal: resample draws outside ``bound_stds`` sigmas."""
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    out = rng.normal(0.0, std, size=shape)
+    bound = bound_stds * std
+    bad = np.abs(out) > bound
+    # Vectorized rejection sampling; ~4.6% rejected per round, converges fast.
+    while bad.any():
+        out[bad] = rng.normal(0.0, std, size=int(bad.sum()))
+        bad = np.abs(out) > bound
+    return out.astype(dtype)
+
+
+def zeros(shape: tuple[int, ...] | int, dtype=np.float64) -> np.ndarray:
+    """Zero-initialized array."""
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape: tuple[int, ...] | int, dtype=np.float64) -> np.ndarray:
+    """One-initialized array."""
+    return np.ones(shape, dtype=dtype)

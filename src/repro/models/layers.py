@@ -1,0 +1,199 @@
+"""Core layers: Linear, LayerNorm, GELU, Dropout, MLP.
+
+Each layer's ``forward`` caches exactly what its hand-derived ``backward``
+needs; ``backward`` accumulates parameter gradients and returns the input
+gradient. Batch (leading) dimensions are arbitrary: every layer operates
+on the trailing feature axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import functional as F
+from repro.models import init
+from repro.models.module import DEFAULT_DTYPE, Module, Parameter
+
+__all__ = ["Linear", "LayerNorm", "GELU", "Dropout", "MLP"]
+
+
+class Linear(Module):
+    """Affine map on the trailing axis: ``y = x @ W + b``.
+
+    Weight layout is ``(in_features, out_features)`` so the forward matmul
+    runs on contiguous operands without transposition (cache-friendly per
+    the optimization guides).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        bias: bool = True,
+        dtype=DEFAULT_DTYPE,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(
+            init.xavier_uniform(rng, in_features, out_features, dtype=dtype)
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros(out_features, dtype=dtype))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``x @ W + b`` on the trailing axis; caches ``x``."""
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected trailing dim {self.in_features}, got {x.shape}"
+            )
+        self._x = x
+        y = x @ self.weight.data
+        if self.has_bias:
+            y += self.bias.data
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Accumulate dW/db; return ``dout @ W.T``."""
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        # Flatten leading dims to one batch axis for the weight gradient.
+        x2 = x.reshape(-1, self.in_features)
+        d2 = dout.reshape(-1, self.out_features)
+        self.weight.accumulate(x2.T @ d2)
+        if self.has_bias:
+            self.bias.accumulate(d2.sum(axis=0))
+        dx = dout @ self.weight.data.T
+        self._x = None
+        return dx
+
+    def _clear_cache(self) -> None:
+        self._x = None
+
+
+class LayerNorm(Module):
+    """LayerNorm over the trailing axis with learned affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-6, dtype=DEFAULT_DTYPE):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones(dim, dtype=dtype))
+        self.beta = Parameter(init.zeros(dim, dtype=dtype))
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Normalize the trailing axis and apply the affine."""
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"expected trailing dim {self.dim}, got {x.shape}")
+        y, self._cache = F.layernorm(x, self.gamma.data, self.beta.data, self.eps)
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """LayerNorm backward; accumulates dgamma/dbeta."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        dx, dgamma, dbeta = F.layernorm_backward(dout, self.gamma.data, self._cache)
+        self.gamma.accumulate(dgamma)
+        self.beta.accumulate(dbeta)
+        self._cache = None
+        return dx
+
+    def _clear_cache(self) -> None:
+        self._cache = None
+
+
+class GELU(Module):
+    """Tanh-approximated GELU activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Tanh-GELU; caches input and inner tanh."""
+        y, t = F.gelu(x)
+        self._cache = (x, t)
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """GELU backward from the cached tanh."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, t = self._cache
+        self._cache = None
+        return F.gelu_backward(dout, x, t)
+
+    def _clear_cache(self) -> None:
+        self._cache = None
+
+
+class Dropout(Module):
+    """Inverted dropout. Identity when ``p == 0`` or in eval mode.
+
+    The mask RNG is supplied per call (or at construction) so distributed
+    engines can make dropout a function of the *sample*, keeping sharded
+    and unsharded training bit-identical.
+    """
+
+    def __init__(self, p: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Apply inverted dropout (identity when p=0 or eval)."""
+        if self.p == 0.0 or not self.training:
+            self._mask = None
+            return x
+        gen = rng or self.rng
+        if gen is None:
+            raise RuntimeError("Dropout with p > 0 requires an RNG")
+        keep = 1.0 - self.p
+        self._mask = (gen.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Propagate gradients through the kept units only."""
+        if self._mask is None:
+            return dout
+        mask, self._mask = self._mask, None
+        return dout * mask
+
+    def _clear_cache(self) -> None:
+        self._mask = None
+
+
+class MLP(Module):
+    """Transformer feed-forward: Linear -> GELU -> Linear."""
+
+    def __init__(
+        self,
+        width: int,
+        hidden: int,
+        rng: np.random.Generator | None = None,
+        dtype=DEFAULT_DTYPE,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.fc1 = Linear(width, hidden, rng=rng, dtype=dtype)
+        self.act = GELU()
+        self.fc2 = Linear(hidden, width, rng=rng, dtype=dtype)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """fc2(gelu(fc1(x)))."""
+        return self.fc2(self.act(self.fc1(x)))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Chain backward through fc2, GELU, fc1."""
+        return self.fc1.backward(self.act.backward(self.fc2.backward(dout)))

@@ -1,0 +1,263 @@
+"""Masked Autoencoder (He et al.) for ViT pretraining.
+
+Mirrors the official MAE implementation the paper builds on:
+
+- linear patch embedding over *all* patches, fixed sin-cos positions;
+- per-sample random masking by argsort of a noise vector (75% default);
+- encoder sees only the visible patches plus a class token;
+- lightweight decoder (8 blocks / width 512 at paper scale) receives the
+  encoded visible tokens plus a learned mask token per masked position,
+  un-shuffled back to the original patch order;
+- MSE reconstruction loss on masked patches only, with per-patch
+  pixel normalization (``norm_pix_loss``).
+
+The masking noise is an explicit input so the distributed engines can
+make masking a function of the *global sample index*: sharded and
+unsharded training then produce bit-identical losses (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MAEConfig
+from repro.models import init
+from repro.models.blocks import TransformerBlock
+from repro.models.layers import LayerNorm, Linear
+from repro.models.module import DEFAULT_DTYPE, Module, Parameter
+from repro.models.patch import patchify, unpatchify
+from repro.models.posembed import sincos_2d
+
+__all__ = ["MaskedAutoencoder", "MAEOutput"]
+
+
+@dataclass
+class MAEOutput:
+    """Result of one MAE forward pass."""
+
+    loss: float
+    pred: np.ndarray  # (B, N, patch_dim) reconstruction in patch space
+    mask: np.ndarray  # (B, N) 1 where the patch was masked
+
+
+class MaskedAutoencoder(Module):
+    def __init__(
+        self,
+        cfg: MAEConfig,
+        rng: np.random.Generator | None = None,
+        dtype=DEFAULT_DTYPE,
+        checkpoint: bool = False,
+    ):
+        super().__init__()
+        self.cfg = cfg
+        enc = cfg.encoder
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng
+
+        # Encoder.
+        self.patch_proj = Linear(enc.patch_dim, enc.width, rng=rng, dtype=dtype)
+        self.cls_token = Parameter(
+            init.trunc_normal(rng, (1, 1, enc.width), dtype=dtype), name="cls_token"
+        )
+        self.enc_pos = sincos_2d(enc.width, enc.grid, cls_token=True).astype(dtype)
+        self.enc_blocks = [
+            TransformerBlock(
+                enc.width, enc.heads, enc.mlp, rng=rng, dtype=dtype,
+                checkpoint=checkpoint,
+            )
+            for _ in range(enc.depth)
+        ]
+        for i, blk in enumerate(self.enc_blocks):
+            setattr(self, f"enc_block{i}", blk)
+        self.enc_norm = LayerNorm(enc.width, dtype=dtype)
+
+        # Decoder.
+        self.dec_embed = Linear(enc.width, cfg.dec_width, rng=rng, dtype=dtype)
+        self.mask_token = Parameter(
+            init.trunc_normal(rng, (1, 1, cfg.dec_width), dtype=dtype),
+            name="mask_token",
+        )
+        self.dec_pos = sincos_2d(cfg.dec_width, enc.grid, cls_token=True).astype(dtype)
+        self.dec_blocks = [
+            TransformerBlock(
+                cfg.dec_width, cfg.dec_heads, 4 * cfg.dec_width, rng=rng,
+                dtype=dtype, checkpoint=checkpoint,
+            )
+            for _ in range(cfg.dec_depth)
+        ]
+        for i, blk in enumerate(self.dec_blocks):
+            setattr(self, f"dec_block{i}", blk)
+        self.dec_norm = LayerNorm(cfg.dec_width, dtype=dtype)
+        self.pred = Linear(cfg.dec_width, enc.patch_dim, rng=rng, dtype=dtype)
+
+        self._cache = None
+
+    # -- masking -----------------------------------------------------------
+
+    def random_masking_indices(
+        self, noise: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Derive (ids_keep, ids_shuffle, ids_restore, mask) from noise.
+
+        ``noise`` is ``(B, N)``; patches with the smallest noise stay
+        visible (the MAE reference convention).
+        """
+        b, n = noise.shape
+        if n != self.cfg.encoder.n_patches:
+            raise ValueError(
+                f"noise has {n} patches, model expects {self.cfg.encoder.n_patches}"
+            )
+        ids_shuffle = np.argsort(noise, axis=1, kind="stable")
+        ids_restore = np.argsort(ids_shuffle, axis=1, kind="stable")
+        n_vis = self.cfg.n_visible
+        ids_keep = ids_shuffle[:, :n_vis]
+        mask = np.ones((b, n), dtype=noise.dtype)
+        mask[:, :n_vis] = 0.0
+        mask = np.take_along_axis(mask, ids_restore, axis=1)
+        return ids_keep, ids_shuffle, ids_restore, mask
+
+    # -- forward -----------------------------------------------------------
+
+    def forward(self, imgs: np.ndarray, noise: np.ndarray | None = None) -> MAEOutput:
+        """Masked-autoencoder forward: mask, encode visibles, decode, per-patch-normalized MSE on masked patches."""
+        enc = self.cfg.encoder
+        b = imgs.shape[0]
+        if noise is None:
+            noise = self.rng.random((b, enc.n_patches))
+        ids_keep, ids_shuffle, ids_restore, mask = self.random_masking_indices(noise)
+        n_vis = self.cfg.n_visible
+
+        patches = patchify(imgs, enc.patch)  # (B, N, D)
+        tok = self.patch_proj(patches) + self.enc_pos[None, 1:, :]
+        x_vis = np.take_along_axis(tok, ids_keep[:, :, None], axis=1)
+
+        cls = np.broadcast_to(
+            self.cls_token.data + self.enc_pos[None, :1, :], (b, 1, enc.width)
+        )
+        x = np.concatenate([cls, x_vis], axis=1)  # (B, 1+Lv, W)
+        for blk in self.enc_blocks:
+            x = blk(x)
+        x = self.enc_norm(x)
+
+        y = self.dec_embed(x)  # (B, 1+Lv, Wd)
+        n_masked = self.cfg.n_masked
+        mask_tokens = np.broadcast_to(
+            self.mask_token.data, (b, n_masked, self.cfg.dec_width)
+        )
+        y_shuffled = np.concatenate([y[:, 1:, :], mask_tokens], axis=1)  # (B, N, Wd)
+        y_unshuf = np.take_along_axis(y_shuffled, ids_restore[:, :, None], axis=1)
+        y_full = np.concatenate([y[:, :1, :], y_unshuf], axis=1) + self.dec_pos[None]
+        for blk in self.dec_blocks:
+            y_full = blk(y_full)
+        y_full = self.dec_norm(y_full)
+        pred = self.pred(y_full[:, 1:, :])  # (B, N, D)
+
+        # Reconstruction target, optionally per-patch normalized.
+        target = patches
+        if self.cfg.norm_pix_loss:
+            mu = target.mean(axis=-1, keepdims=True)
+            var = target.var(axis=-1, keepdims=True)
+            target = (target - mu) / np.sqrt(var + 1e-6)
+
+        diff = pred - target
+        per_patch = (diff * diff).mean(axis=-1)  # (B, N)
+        mask_sum = mask.sum()
+        loss = float((per_patch * mask).sum() / mask_sum)
+
+        self._cache = (
+            b,
+            ids_keep,
+            ids_shuffle,
+            mask,
+            diff,
+            mask_sum,
+            n_vis,
+            tok.shape,
+        )
+        return MAEOutput(loss=loss, pred=pred, mask=mask)
+
+    # -- backward ----------------------------------------------------------
+
+    def backward(self) -> np.ndarray:
+        """Backprop d(loss)/d(everything); returns d(loss)/d(imgs)."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        (b, ids_keep, ids_shuffle, mask, diff, mask_sum, n_vis, tok_shape) = self._cache
+        self._cache = None
+        enc = self.cfg.encoder
+        d_patch = enc.patch_dim
+
+        dpred = (2.0 / d_patch) * diff * mask[:, :, None] / mask_sum
+        dy_tail = self.pred.backward(dpred)  # (B, N, Wd)
+        dy_full = np.concatenate(
+            [np.zeros((b, 1, self.cfg.dec_width), dtype=dy_tail.dtype), dy_tail],
+            axis=1,
+        )
+        dy_full = self.dec_norm.backward(dy_full)
+        for blk in reversed(self.dec_blocks):
+            dy_full = blk.backward(dy_full)
+        # dec_pos is a constant buffer: no gradient.
+        dcls_dec = dy_full[:, :1, :]
+        dy_unshuf = dy_full[:, 1:, :]
+        # Inverse of the gather-with-ids_restore is gather-with-ids_shuffle.
+        dy_shuffled = np.take_along_axis(dy_unshuf, ids_shuffle[:, :, None], axis=1)
+        dy_vis = dy_shuffled[:, :n_vis, :]
+        dmask_tok = dy_shuffled[:, n_vis:, :]
+        self.mask_token.accumulate(
+            dmask_tok.sum(axis=(0, 1))[None, None, :]
+        )
+        dy_enc_out = np.concatenate([dcls_dec, dy_vis], axis=1)
+        dx = self.dec_embed.backward(dy_enc_out)
+
+        dx = self.enc_norm.backward(dx)
+        for blk in reversed(self.enc_blocks):
+            dx = blk.backward(dx)
+        dcls = dx[:, :1, :]
+        self.cls_token.accumulate(dcls.sum(axis=0, keepdims=True))
+        dvis = dx[:, 1:, :]
+        dtok = np.zeros(tok_shape, dtype=dvis.dtype)
+        np.put_along_axis(dtok, ids_keep[:, :, None], dvis, axis=1)
+        dpatches = self.patch_proj.backward(dtok)
+        return unpatchify(dpatches, enc.patch, enc.in_chans)
+
+    # -- feature extraction (for linear probing) ----------------------------
+
+    def encode_features(self, imgs: np.ndarray) -> np.ndarray:
+        """Class-token features from the *unmasked* encoder: ``(B, W)``.
+
+        This is the representation the paper linear-probes (the MAE
+        encoder applied to the full image, masking disabled).
+        """
+        enc = self.cfg.encoder
+        b = imgs.shape[0]
+        patches = patchify(imgs, enc.patch)
+        x = self.patch_proj(patches) + self.enc_pos[None, 1:, :]
+        cls = np.broadcast_to(
+            self.cls_token.data + self.enc_pos[None, :1, :], (b, 1, enc.width)
+        )
+        x = np.concatenate([cls, x], axis=1)
+        for blk in self.enc_blocks:
+            x = blk(x)
+        x = self.enc_norm(x)
+        return x[:, 0, :]
+
+    def encode_patch_tokens(self, imgs: np.ndarray) -> np.ndarray:
+        """Per-patch features from the unmasked encoder: ``(B, N, W)``.
+
+        The dense counterpart of :meth:`encode_features` — used for
+        patch-level downstream tasks (semantic segmentation probing).
+        """
+        enc = self.cfg.encoder
+        b = imgs.shape[0]
+        patches = patchify(imgs, enc.patch)
+        x = self.patch_proj(patches) + self.enc_pos[None, 1:, :]
+        cls = np.broadcast_to(
+            self.cls_token.data + self.enc_pos[None, :1, :], (b, 1, enc.width)
+        )
+        x = np.concatenate([cls, x], axis=1)
+        for blk in self.enc_blocks:
+            x = blk(x)
+        x = self.enc_norm(x)
+        return x[:, 1:, :]

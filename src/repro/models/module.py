@@ -1,0 +1,174 @@
+"""Parameter and Module base classes.
+
+A :class:`Parameter` owns a data array and a same-shaped gradient
+accumulator. ``data`` may be *reassigned* to a view into an external flat
+buffer — this is how the FSDP engine materializes all-gathered parameters
+without copying (NumPy slicing yields views, so an optimizer writing the
+flat buffer updates the module in place).
+
+A :class:`Module` registers parameters and sub-modules automatically on
+attribute assignment (like ``torch.nn.Module``) and exposes them in a
+deterministic depth-first order, which the sharding layer relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "DEFAULT_DTYPE"]
+
+#: Library-wide default float dtype. float64 keeps the cross-strategy
+#: numerical-equivalence guarantees tight; pass float32 for speed.
+DEFAULT_DTYPE = np.float64
+
+
+class Parameter:
+    """A trainable tensor with a gradient accumulator."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self):
+        """Array dtype."""
+        return self.data.dtype
+
+    def zero_grad(self) -> None:
+        """Zero this parameter's gradient in place."""
+        self.grad[...] = 0.0
+
+    def accumulate(self, g: np.ndarray) -> None:
+        """Add an incoming gradient contribution (broadcast-checked)."""
+        if g.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {g.shape} does not match parameter "
+                f"{self.name or '<unnamed>'} shape {self.data.shape}"
+            )
+        self.grad += g
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name or '<unnamed>'}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers with explicit forward/backward.
+
+    Subclasses implement ``forward(*inputs)`` (caching what backward
+    needs) and ``backward(dout)`` (returning the gradient with respect to
+    the forward input and accumulating parameter gradients).
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._params[name] = value
+            if not value.name:
+                value.name = name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Depth-first (registration-order) traversal of all parameters."""
+        for name, p in self._params.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters in deterministic depth-first order."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Depth-first iterator over self and submodules."""
+        yield self
+        for mod in self._modules.values():
+            yield from mod.modules()
+
+    def n_params(self) -> int:
+        """Total parameter count of the module tree."""
+        return sum(p.size for p in self.parameters())
+
+    # -- state -----------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Zero every parameter gradient."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively; returns self."""
+        for m in self.modules():
+            object.__setattr__(m, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively; returns self."""
+        return self.train(False)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of all parameters keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values by dotted name (strict)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            src = np.asarray(state[name])
+            if src.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {src.shape} vs {p.data.shape}"
+                )
+            p.data[...] = src
+
+    # -- activation caches ---------------------------------------------------
+
+    def _clear_cache(self) -> None:
+        """Drop this module's own cached activations (subclass hook)."""
+
+    def release_caches(self) -> None:
+        """Recursively drop cached activations (activation checkpointing)."""
+        for m in self.modules():
+            m._clear_cache()
+
+    # -- call protocol -----------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        """Compute outputs (subclass responsibility)."""
+        raise NotImplementedError
+
+    def backward(self, dout):
+        """Backpropagate (subclass responsibility)."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,42 @@
+"""Fixed 2-D sine-cosine position embeddings (as in the official MAE code).
+
+These are buffers, not parameters: the paper's implementation follows He
+et al.'s MAE, which freezes sin-cos embeddings for both encoder and
+decoder. ``repro.core.config.count_vit_params`` relies on this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sincos_1d", "sincos_2d"]
+
+
+def sincos_1d(dim: int, positions: np.ndarray) -> np.ndarray:
+    """1-D sin-cos embedding of ``positions`` into ``dim`` channels."""
+    if dim % 2 != 0:
+        raise ValueError(f"embedding dim must be even, got {dim}")
+    omega = np.arange(dim // 2, dtype=np.float64) / (dim / 2.0)
+    omega = 1.0 / 10000.0**omega
+    out = positions.reshape(-1).astype(np.float64)[:, None] * omega[None, :]
+    return np.concatenate([np.sin(out), np.cos(out)], axis=1)
+
+
+def sincos_2d(dim: int, grid: int, cls_token: bool = True) -> np.ndarray:
+    """2-D sin-cos embedding for a ``grid x grid`` patch lattice.
+
+    Returns shape ``(grid*grid [+1], dim)``; the optional class-token row
+    is all zeros (position-free), matching the MAE reference code.
+    """
+    if dim % 4 != 0:
+        raise ValueError(f"2-D sin-cos embedding needs dim % 4 == 0, got {dim}")
+    if grid <= 0:
+        raise ValueError(f"grid must be positive, got {grid}")
+    coords = np.arange(grid, dtype=np.float64)
+    gy, gx = np.meshgrid(coords, coords, indexing="ij")
+    emb_h = sincos_1d(dim // 2, gy)
+    emb_w = sincos_1d(dim // 2, gx)
+    emb = np.concatenate([emb_h, emb_w], axis=1)
+    if cls_token:
+        emb = np.concatenate([np.zeros((1, dim)), emb], axis=0)
+    return emb

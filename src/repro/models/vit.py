@@ -1,0 +1,120 @@
+"""Vision Transformer encoder with optional classification head.
+
+Follows the original ViT/MAE layout: linear patch embedding, class token,
+fixed 2-D sin-cos position embeddings, pre-norm transformer blocks, final
+LayerNorm. ``forward_features`` returns the class-token embedding — the
+representation the paper's linear-probing experiments train on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ViTConfig
+from repro.models import init
+from repro.models.blocks import TransformerBlock
+from repro.models.layers import LayerNorm, Linear
+from repro.models.module import DEFAULT_DTYPE, Module, Parameter
+from repro.models.patch import PatchEmbed
+from repro.models.posembed import sincos_2d
+
+__all__ = ["VisionTransformer"]
+
+
+class VisionTransformer(Module):
+    """ViT encoder.
+
+    Parameters
+    ----------
+    cfg:
+        Architecture description (width/depth/mlp/heads/patch/img_size).
+    n_classes:
+        When given, append a linear classification head; ``forward``
+        then returns logits instead of features.
+    rng:
+        Initialization RNG; required for reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        cfg: ViTConfig,
+        n_classes: int | None = None,
+        rng: np.random.Generator | None = None,
+        dtype=DEFAULT_DTYPE,
+        checkpoint: bool = False,
+    ):
+        super().__init__()
+        self.cfg = cfg
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.patch_embed = PatchEmbed(
+            cfg.patch, cfg.in_chans, cfg.width, rng=rng, dtype=dtype
+        )
+        self.cls_token = Parameter(
+            init.trunc_normal(rng, (1, 1, cfg.width), dtype=dtype), name="cls_token"
+        )
+        # Fixed buffer (not a Parameter): sin-cos embedding incl. cls row.
+        self.pos_embed = sincos_2d(cfg.width, cfg.grid, cls_token=True).astype(dtype)
+        self.blocks = [
+            TransformerBlock(
+                cfg.width, cfg.heads, cfg.mlp, rng=rng, dtype=dtype,
+                checkpoint=checkpoint,
+            )
+            for _ in range(cfg.depth)
+        ]
+        for i, blk in enumerate(self.blocks):
+            setattr(self, f"block{i}", blk)
+        self.norm = LayerNorm(cfg.width, dtype=dtype)
+        self.head = (
+            Linear(cfg.width, n_classes, rng=rng, dtype=dtype)
+            if n_classes is not None
+            else None
+        )
+        self._batch: int | None = None
+        self._tokens: int | None = None
+
+    # -- forward -----------------------------------------------------------
+
+    def _embed(self, imgs: np.ndarray) -> np.ndarray:
+        b = imgs.shape[0]
+        x = self.patch_embed(imgs) + self.pos_embed[None, 1:, :]
+        cls = np.broadcast_to(
+            self.cls_token.data + self.pos_embed[None, :1, :], (b, 1, self.cfg.width)
+        )
+        x = np.concatenate([cls, x], axis=1)
+        self._batch, self._tokens = b, x.shape[1]
+        return x
+
+    def forward_features(self, imgs: np.ndarray) -> np.ndarray:
+        """Class-token embedding after the final LayerNorm: ``(B, W)``."""
+        x = self._embed(imgs)
+        for blk in self.blocks:
+            x = blk(x)
+        x = self.norm(x)
+        return x[:, 0, :]
+
+    def forward(self, imgs: np.ndarray) -> np.ndarray:
+        """Logits when a head exists, else class-token features."""
+        feats = self.forward_features(imgs)
+        if self.head is None:
+            return feats
+        return self.head(feats)
+
+    # -- backward ----------------------------------------------------------
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backprop from logits (if a head exists) or features to images."""
+        if self._batch is None:
+            raise RuntimeError("backward called before forward")
+        dfeat = self.head.backward(dout) if self.head is not None else dout
+        # Only the cls-token row received gradient.
+        dx = np.zeros((self._batch, self._tokens, self.cfg.width), dtype=dfeat.dtype)
+        dx[:, 0, :] = dfeat
+        dx = self.norm.backward(dx)
+        for blk in reversed(self.blocks):
+            dx = blk.backward(dx)
+        # Split cls from patch tokens.
+        dcls = dx[:, :1, :]
+        self.cls_token.accumulate(dcls.sum(axis=0, keepdims=True))
+        dimgs = self.patch_embed.backward(dx[:, 1:, :])
+        self._batch = self._tokens = None
+        return dimgs

@@ -1,0 +1,31 @@
+"""Optimizers and learning-rate schedules.
+
+Optimizers operate on any object exposing ``.data`` and ``.grad`` NumPy
+arrays — both :class:`repro.models.module.Parameter` and the FSDP
+engine's flat parameter shards qualify, so the same AdamW code runs
+sharded and unsharded (a correctness requirement of the equivalence
+tests).
+
+- :mod:`repro.optim.adamw` — AdamW (used for MAE pretraining, paper §V-B).
+- :mod:`repro.optim.lars` — LARS (used for linear probing, paper §V-C).
+- :mod:`repro.optim.sgd` — SGD with momentum (baseline/regression tests).
+- :mod:`repro.optim.schedules` — cosine decay with linear warmup.
+- :mod:`repro.optim.grad_clip` — global-norm gradient clipping.
+"""
+
+from repro.optim.adamw import AdamW
+from repro.optim.base import Optimizer
+from repro.optim.grad_clip import clip_grad_norm, global_grad_norm
+from repro.optim.lars import LARS
+from repro.optim.schedules import CosineWithWarmup
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "AdamW",
+    "LARS",
+    "SGD",
+    "CosineWithWarmup",
+    "clip_grad_norm",
+    "global_grad_norm",
+]

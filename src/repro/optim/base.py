@@ -1,0 +1,91 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = ["Optimizer", "ParamLike"]
+
+
+class ParamLike(Protocol):
+    """Anything with mutable ``data`` and ``grad`` arrays of equal shape."""
+
+    data: np.ndarray
+    grad: np.ndarray
+
+
+class Optimizer:
+    """Base: holds parameters, the current learning rate, and a step count.
+
+    Subclasses implement :meth:`_update` for one parameter slot. State is
+    kept in per-slot dictionaries of arrays, exposed through
+    :meth:`state_bytes` for the memory model.
+    """
+
+    def __init__(self, params: Sequence[ParamLike], lr: float):
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        for i, p in enumerate(params):
+            if p.data.shape != p.grad.shape:
+                raise ValueError(f"param {i}: data/grad shape mismatch")
+        self.params = params
+        self.lr = lr
+        self.t = 0
+        self.state: list[dict[str, np.ndarray]] = [dict() for _ in params]
+
+    def zero_grad(self) -> None:
+        """Zero every parameter gradient."""
+        for p in self.params:
+            p.grad[...] = 0.0
+
+    def step(self) -> None:
+        """Apply one update to every parameter slot."""
+        self.t += 1
+        for i, p in enumerate(self.params):
+            self._update(p, self.state[i])
+
+    def _update(self, p: ParamLike, state: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Total bytes of optimizer state (for memory-model validation)."""
+        return sum(
+            arr.nbytes for slot in self.state for arr in slot.values()
+        )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot: step count, lr, and per-slot arrays."""
+        return {
+            "t": self.t,
+            "lr": self.lr,
+            "slots": [
+                {k: v.copy() for k, v in slot.items()} for slot in self.state
+            ],
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a snapshot (parameter layout must match)."""
+        slots = sd["slots"]
+        if len(slots) != len(self.params):
+            raise ValueError(
+                f"checkpoint has {len(slots)} slots, optimizer has "
+                f"{len(self.params)}"
+            )
+        for i, (slot, p) in enumerate(zip(slots, self.params)):
+            for k, v in slot.items():
+                v = np.asarray(v)
+                if v.shape != p.data.shape:
+                    raise ValueError(
+                        f"slot {i}[{k}]: shape {v.shape} != param "
+                        f"{p.data.shape}"
+                    )
+            self.state[i] = {k: np.array(v) for k, v in slot.items()}
+        self.t = int(sd["t"])
+        self.lr = float(sd["lr"])

@@ -1,0 +1,53 @@
+"""LARS (Layer-wise Adaptive Rate Scaling; You et al. 2017).
+
+The paper's linear-probing recipe follows the MAE reference: LARS with
+base LR 0.1 and no weight decay (Section V-C). Implementation matches the
+MAE repository's ``LARS`` class: SGD-with-momentum where each parameter's
+step is scaled by ``trust * ||w|| / ||g + wd*w||``, skipping the scaling
+for one-dimensional parameters (biases, norms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.base import Optimizer, ParamLike
+
+__all__ = ["LARS"]
+
+
+class LARS(Optimizer):
+    def __init__(
+        self,
+        params,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        trust_coefficient: float = 0.001,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if trust_coefficient <= 0:
+            raise ValueError(
+                f"trust_coefficient must be positive, got {trust_coefficient}"
+            )
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.trust = trust_coefficient
+
+    def _update(self, p: ParamLike, state: dict[str, np.ndarray]) -> None:
+        g = p.grad
+        if p.data.ndim > 1:  # LARS scaling for weight matrices only
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            w_norm = float(np.linalg.norm(p.data))
+            g_norm = float(np.linalg.norm(g))
+            if w_norm > 0.0 and g_norm > 0.0:
+                g = g * (self.trust * w_norm / g_norm)
+        if "mu" not in state:
+            state["mu"] = np.zeros_like(p.data)
+        mu = state["mu"]
+        mu *= self.momentum
+        mu += g
+        p.data -= self.lr * mu

@@ -1,0 +1,48 @@
+"""Learning-rate schedules.
+
+The MAE recipe (and the paper) uses linear warmup followed by half-cosine
+decay. The schedule is a pure function of the step index; callers assign
+``optimizer.lr = schedule(step)`` before each step so the schedule code is
+trivially shared between engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CosineWithWarmup"]
+
+
+class CosineWithWarmup:
+    """Linear warmup to ``base_lr`` then cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        warmup_steps: int = 0,
+        min_lr: float = 0.0,
+    ):
+        if base_lr < 0 or min_lr < 0:
+            raise ValueError("learning rates must be non-negative")
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        if not 0 <= warmup_steps <= total_steps:
+            raise ValueError(
+                f"warmup_steps must be in [0, total_steps], got {warmup_steps}"
+            )
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.min_lr = min_lr
+
+    def __call__(self, step: int) -> float:
+        """LR for 0-indexed optimizer step ``step``."""
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        span = max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, (step - self.warmup_steps) / span)
+        cos = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos

@@ -1,0 +1,164 @@
+"""FLOP counts and per-unit compute costs for ViT / MAE workloads.
+
+FLOPs use the standard dense-transformer accounting (one multiply-add =
+2 FLOPs):
+
+per image, per encoder block of width W, mlp M, sequence N:
+  ``N * (8 W^2 + 4 W M) + 4 N^2 W``
+(qkv ``6W^2`` + output proj ``2W^2`` + MLP ``4WM`` per token; the two
+attention matmuls QK^T and AV contribute ``4 N^2 W`` per image.)
+
+Backward is counted as twice forward (the usual 2x rule for dense nets),
+so a training step costs ~3x forward FLOPs.
+
+The *workload units* produced here mirror the FSDP wrapping: one unit per
+transformer block plus a root unit (embeddings/norm/head). Each unit
+carries its parameter bytes and per-microbatch forward seconds, which the
+schedule builder turns into tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MAEConfig, ViTConfig, vit_block_params
+from repro.hardware.gpu import GpuSpec
+
+__all__ = [
+    "UnitCost",
+    "block_forward_flops",
+    "vit_forward_flops",
+    "mae_forward_flops",
+    "vit_workload_units",
+    "mae_workload_units",
+    "BYTES_PER_PARAM",
+]
+
+#: The paper's runs are plain fp32 (no mention of AMP; FSDP default).
+BYTES_PER_PARAM = 4
+
+
+@dataclass(frozen=True)
+class UnitCost:
+    """One FSDP wrapping unit's static cost profile.
+
+    ``fwd_seconds`` is the forward compute time of this unit for one
+    *local* microbatch; backward costs ``backward_ratio`` times more.
+    """
+
+    name: str
+    param_bytes: int
+    fwd_seconds: float
+    backward_ratio: float = 2.0
+
+    @property
+    def bwd_seconds(self) -> float:
+        """Backward compute time (forward x backward_ratio)."""
+        return self.fwd_seconds * self.backward_ratio
+
+
+def block_forward_flops(width: int, mlp: int, seq: int) -> float:
+    """Forward FLOPs of one transformer block for one image."""
+    return seq * (8 * width * width + 4 * width * mlp) + 4 * seq * seq * width
+
+
+def vit_forward_flops(cfg: ViTConfig, seq: int | None = None) -> float:
+    """Forward FLOPs of the full ViT encoder for one image."""
+    n = seq if seq is not None else cfg.seq_len
+    embed = 2 * cfg.n_patches * cfg.patch_dim * cfg.width
+    return embed + cfg.depth * block_forward_flops(cfg.width, cfg.mlp, n)
+
+
+def mae_forward_flops(cfg: MAEConfig) -> float:
+    """Forward FLOPs of the full MAE (masked encoder + decoder)."""
+    enc = cfg.encoder
+    enc_seq = cfg.n_visible + 1
+    embed = 2 * enc.n_patches * enc.patch_dim * enc.width
+    enc_flops = embed + enc.depth * block_forward_flops(enc.width, enc.mlp, enc_seq)
+    dec_seq = enc.n_patches + 1
+    dec_embed = 2 * enc_seq * enc.width * cfg.dec_width
+    dec_blocks = cfg.dec_depth * block_forward_flops(
+        cfg.dec_width, 4 * cfg.dec_width, dec_seq
+    )
+    dec_pred = 2 * dec_seq * cfg.dec_width * enc.patch_dim
+    return enc_flops + dec_embed + dec_blocks + dec_pred
+
+
+def _root_params_vit(cfg: ViTConfig) -> int:
+    """Non-block parameters of a ViT: patch embed + cls + final norm."""
+    return (cfg.patch_dim * cfg.width + cfg.width) + cfg.width + 2 * cfg.width
+
+
+def vit_workload_units(
+    cfg: ViTConfig, local_batch: int, gpu: GpuSpec
+) -> list[UnitCost]:
+    """FSDP units for a plain-ViT training step (Figs. 2-4 workload)."""
+    if local_batch <= 0:
+        raise ValueError(f"local_batch must be positive, got {local_batch}")
+    seq = cfg.seq_len
+    units = [
+        UnitCost(
+            name="root",
+            param_bytes=_root_params_vit(cfg) * BYTES_PER_PARAM,
+            fwd_seconds=gpu.time_for_flops(
+                2 * cfg.n_patches * cfg.patch_dim * cfg.width * local_batch, cfg.width
+            ),
+        )
+    ]
+    block_flops = block_forward_flops(cfg.width, cfg.mlp, seq) * local_batch
+    block_bytes = vit_block_params(cfg.width, cfg.mlp) * BYTES_PER_PARAM
+    block_s = gpu.time_for_flops(block_flops, cfg.width)
+    units.extend(
+        UnitCost(name=f"block{i}", param_bytes=block_bytes, fwd_seconds=block_s)
+        for i in range(cfg.depth)
+    )
+    return units
+
+
+def mae_workload_units(
+    cfg: MAEConfig, local_batch: int, gpu: GpuSpec
+) -> list[UnitCost]:
+    """FSDP units for an MAE pretraining step (Fig. 1 workload)."""
+    enc = cfg.encoder
+    enc_seq = cfg.n_visible + 1
+    dec_seq = enc.n_patches + 1
+    units = [
+        UnitCost(
+            name="root",
+            param_bytes=(
+                _root_params_vit(enc)
+                + (enc.width * cfg.dec_width + cfg.dec_width)  # decoder embed
+                + cfg.dec_width  # mask token
+                + 2 * cfg.dec_width  # decoder norm
+                + (cfg.dec_width * enc.patch_dim + enc.patch_dim)  # pred head
+            )
+            * BYTES_PER_PARAM,
+            fwd_seconds=gpu.time_for_flops(
+                (
+                    2 * enc.n_patches * enc.patch_dim * enc.width
+                    + 2 * enc_seq * enc.width * cfg.dec_width
+                    + 2 * dec_seq * cfg.dec_width * enc.patch_dim
+                )
+                * local_batch,
+                enc.width,
+            ),
+        )
+    ]
+    enc_block_s = gpu.time_for_flops(
+        block_forward_flops(enc.width, enc.mlp, enc_seq) * local_batch, enc.width
+    )
+    enc_block_bytes = vit_block_params(enc.width, enc.mlp) * BYTES_PER_PARAM
+    units.extend(
+        UnitCost(f"enc_block{i}", enc_block_bytes, enc_block_s)
+        for i in range(enc.depth)
+    )
+    dec_block_s = gpu.time_for_flops(
+        block_forward_flops(cfg.dec_width, 4 * cfg.dec_width, dec_seq) * local_batch,
+        cfg.dec_width,
+    )
+    dec_block_bytes = vit_block_params(cfg.dec_width, 4 * cfg.dec_width) * BYTES_PER_PARAM
+    units.extend(
+        UnitCost(f"dec_block{i}", dec_block_bytes, dec_block_s)
+        for i in range(cfg.dec_depth)
+    )
+    return units

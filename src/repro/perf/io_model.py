@@ -1,0 +1,64 @@
+"""Dataloader / filesystem throughput model (paper Fig. 1 'IO' curve).
+
+The paper measures IO by running the PyTorch dataloader in isolation:
+4 worker processes per rank read and decode MillionAID images from
+Lustre. Per-rank throughput is therefore ``workers x decode_rate`` until
+the aggregate filesystem bandwidth caps it. Frontier's Orion filesystem
+has multi-TB/s aggregate bandwidth, so at the paper's scales (<= 64
+nodes) the per-worker decode rate dominates and IO scales ~linearly —
+which is why the paper finds the application never IO-bound, a conclusion
+this model reproduces by construction and the Fig. 1 bench verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IoModel"]
+
+
+@dataclass(frozen=True)
+class IoModel:
+    """Per-rank image pipeline throughput.
+
+    Attributes
+    ----------
+    workers_per_rank:
+        Dataloader worker processes per GPU rank (paper: 4).
+    decode_rate_imgs_per_s:
+        Images decoded+transformed per second per worker, calibrated for
+        512x512 JPEG decode on one EPYC core (~30 img/s).
+    fs_aggregate_bw:
+        Filesystem aggregate bandwidth cap (bytes/s).
+    bytes_per_image:
+        On-disk compressed size of one image.
+    """
+
+    workers_per_rank: int = 4
+    decode_rate_imgs_per_s: float = 30.0
+    fs_aggregate_bw: float = 10e12
+    bytes_per_image: float = 0.35e6
+
+    def __post_init__(self) -> None:
+        if self.workers_per_rank <= 0:
+            raise ValueError("workers_per_rank must be positive")
+        if self.decode_rate_imgs_per_s <= 0:
+            raise ValueError("decode_rate_imgs_per_s must be positive")
+
+    def rank_ips(self, n_ranks: int) -> float:
+        """Per-rank sustainable images/second at ``n_ranks`` total ranks."""
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        decode = self.workers_per_rank * self.decode_rate_imgs_per_s
+        fs_cap = self.fs_aggregate_bw / (self.bytes_per_image * n_ranks)
+        return min(decode, fs_cap)
+
+    def total_ips(self, n_ranks: int) -> float:
+        """Aggregate dataloader images/second across the job."""
+        return self.rank_ips(n_ranks) * n_ranks
+
+    def step_time(self, local_batch: int, n_ranks: int) -> float:
+        """Seconds for every rank to produce one local batch."""
+        if local_batch <= 0:
+            raise ValueError(f"local_batch must be positive, got {local_batch}")
+        return local_batch / self.rank_ips(n_ranks)

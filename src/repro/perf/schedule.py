@@ -1,0 +1,354 @@
+"""Builds the per-step task graph for one strategy + prefetch policy.
+
+One training step is simulated from the perspective of a representative
+rank (the workload is SPMD-homogeneous): a ``compute`` stream runs the
+forward/backward of each FSDP unit, and a ``comm`` stream runs the
+collectives the strategy prescribes:
+
+==============  ==========================================================
+strategy        collectives per unit per step
+==============  ==========================================================
+NO_SHARD        all-reduce(grad) in backward
+DDP             all-reduce per *bucket* (25 MB default) in backward
+FULL_SHARD      all-gather(params) in forward, all-gather(params) again in
+                backward, reduce-scatter(grad)
+SHARD_GRAD_OP   all-gather(params) in forward only, reduce-scatter(grad)
+HYBRID(s)       all-gather / reduce-scatter inside the shard group (fwd +
+                bwd regather like FULL_SHARD when s > 1), then an
+                all-reduce of the grad shard across replica groups
+==============  ==========================================================
+
+Overlap realism: on the MI250X, RCCL kernels contend with the matrix
+pipeline for HBM bandwidth and CUs, so communication is only partially
+hideable. Each collective is therefore split into an overlappable part
+(on the ``comm`` stream) and a serialized part of
+``comm_compute_contention x duration`` on the ``compute`` stream; the
+collective's consumers depend on the serialized part. The paper's Fig. 1
+measurement — communication ~22% of the step at 64 nodes, i.e. almost
+fully exposed — is what calibrates the contention factor high.
+
+Backward prefetch (paper Fig. 2) controls when the *next* unit's
+parameter all-gather is issued relative to the current unit's
+reduce-scatter: ``BACKWARD_PRE`` enqueues it before the reduce-scatter as
+soon as the previous gather completed (most overlap), ``BACKWARD_POST``
+after the reduce-scatter enqueue, ``NONE`` only after the reduce-scatter
+finished. ``limit_all_gathers`` rate-limits in-flight gathers; running
+without it trades rate-limit delays for allocator stalls on the compute
+stream plus congestion on the oversubscribed gathers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comm.bucketing import DEFAULT_BUCKET_CAP_BYTES, bucket_gradients
+from repro.comm.cost_model import CollectiveCostModel, GroupPlacement
+from repro.comm.world import World
+from repro.core.sharding import BackwardPrefetch, ShardingStrategy
+from repro.perf.compute_model import UnitCost
+from repro.perf.events import Timeline
+
+__all__ = [
+    "ScheduleParams",
+    "StepSchedule",
+    "build_step_schedule",
+    "shard_group_placement",
+    "replica_group_placement",
+]
+
+#: Granularity used to emulate per-tensor gradient readiness inside DDP
+#: buckets (real tensors are finer than whole transformer blocks).
+_DDP_PSEUDO_TENSOR_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ScheduleParams:
+    """Calibration knobs of the step schedule (rationale in DESIGN.md)."""
+
+    prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE
+    limit_all_gathers: bool = True
+    #: Fraction of each collective's duration serialized onto compute
+    #: (HBM/CU contention); calibrated against Fig. 1's exposed ~22%.
+    comm_compute_contention: float = 0.90
+    #: Host allocator stall per unrestricted in-flight gather.
+    alloc_stall_s: float = 4.0e-4
+    #: Gather-duration inflation when limit_all_gathers is off.
+    congestion_factor: float = 0.18
+    #: Duration inflation of NO_SHARD's all-reduces relative to the
+    #: HYBRID_1GPU path (the paper finds HYBRID_1GPU consistently faster
+    #: than the algorithmically-identical NO_SHARD; we attribute the
+    #: measured gap to NO_SHARD's legacy flat-parameter reduce path).
+    noshard_comm_inflation: float = 1.10
+    #: Same-spirit inflation for DDP's hook-driven bucket all-reduce path.
+    ddp_comm_inflation: float = 1.18
+    #: In-flight gather window when limit_all_gathers is on.
+    gather_window: int = 2
+    ddp_bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES
+    #: HBM bandwidth used for DDP's bucket coalesce/scatter copies
+    #: (grads are copied into and out of each bucket's flat buffer).
+    ddp_copy_bw: float = 1.6e12
+    #: Seconds of optimizer compute appended at the end of the step
+    #: (set by the simulator from the sharded state size).
+    optimizer_seconds: float = 0.0
+
+
+@dataclass
+class StepSchedule:
+    """Built task graph plus aggregate accounting."""
+
+    timeline: Timeline
+    comm_seconds: float = 0.0
+    comm_calls: int = 0
+    compute_seconds: float = 0.0  # pure compute incl. optimizer, no stalls
+    stall_seconds: float = 0.0
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def step_time(self) -> float:
+        """Makespan of one step (the paper's 'syn' time)."""
+        return self.timeline.makespan()
+
+    @property
+    def step_time_no_comm(self) -> float:
+        """The paper's 'syn no comm' configuration: compute only."""
+        return self.compute_seconds
+
+    @property
+    def exposed_comm_seconds(self) -> float:
+        """Step time beyond pure compute (exposed communication)."""
+        return max(0.0, self.step_time - self.compute_seconds)
+
+
+def shard_group_placement(world: World, shard_size: int) -> GroupPlacement:
+    """Placement of one contiguous shard group."""
+    nodes = -(-shard_size // world.ranks_per_node)
+    return GroupPlacement(group_size=shard_size, nodes_spanned=nodes, nic_share=1)
+
+
+def replica_group_placement(world: World, shard_size: int) -> GroupPlacement:
+    """Placement of one replica (gradient all-reduce) group.
+
+    There are ``shard_size`` such groups running concurrently, so when
+    they span nodes each NIC is shared by ``min(shard_size,
+    ranks_per_node)`` rings.
+    """
+    members = world.size // shard_size
+    if members == 1:
+        return GroupPlacement(group_size=1, nodes_spanned=1)
+    if shard_size >= world.ranks_per_node:
+        nodes = members  # one member per shard group, each on its own node(s)
+    else:
+        nodes = world.n_nodes
+    nodes = max(1, min(nodes, members))
+    nic_share = min(shard_size, world.ranks_per_node) if nodes > 1 else 1
+    return GroupPlacement(group_size=members, nodes_spanned=nodes, nic_share=nic_share)
+
+
+def world_placement(world: World) -> GroupPlacement:
+    """Placement of a collective spanning the whole world."""
+    return GroupPlacement(
+        group_size=world.size, nodes_spanned=world.n_nodes, nic_share=1
+    )
+
+
+class _StepBuilder:
+    def __init__(
+        self,
+        world: World,
+        cost_model: CollectiveCostModel,
+        params: ScheduleParams,
+    ):
+        self.tl = Timeline()
+        self.world = world
+        self.cost = cost_model
+        self.p = params
+        self.comm_seconds = 0.0
+        self.comm_calls = 0
+        self.compute_seconds = 0.0
+        self.stall_seconds = 0.0
+
+    def add_compute(self, name: str, duration: float, deps=()) -> int:
+        self.compute_seconds += duration
+        return self.tl.add(name, "compute", duration, deps)
+
+    def add_stall(self, name: str, duration: float) -> int:
+        self.stall_seconds += duration
+        return self.tl.add(name, "compute", duration)
+
+    def add_comm(self, name: str, duration: float, deps=()) -> int:
+        """Add a collective; returns the id its consumers must depend on.
+
+        The collective occupies the comm stream for its full duration
+        (consumers wait on that). Its HBM/CU contention is modeled as an
+        additional dependency-free task of ``kappa x duration`` on the
+        compute stream at the issue point: concurrent compute slows down
+        by the contention share, but is never head-of-line blocked behind
+        the wire transfer itself.
+        """
+        self.comm_seconds += duration
+        self.comm_calls += 1
+        wire = self.tl.add(name, "comm", duration, deps)
+        kappa = self.p.comm_compute_contention
+        if kappa > 0.0:
+            self.tl.add(f"{name}#x", "compute", duration * kappa)
+        return wire
+
+
+def build_step_schedule(
+    units: list[UnitCost],
+    strategy: ShardingStrategy,
+    world: World,
+    cost_model: CollectiveCostModel,
+    shard_size: int | None = None,
+    params: ScheduleParams | None = None,
+) -> StepSchedule:
+    """Assemble the task graph of one training step.
+
+    ``units`` come from :mod:`repro.perf.compute_model`; ``shard_size`` is
+    required for ``HYBRID_SHARD`` and ignored (implied) otherwise.
+    """
+    p = params if params is not None else ScheduleParams()
+    if strategy in (ShardingStrategy.NO_SHARD, ShardingStrategy.DDP):
+        s = 1
+    elif strategy in (ShardingStrategy.FULL_SHARD, ShardingStrategy.SHARD_GRAD_OP):
+        s = world.size
+    elif strategy is ShardingStrategy.HYBRID_SHARD:
+        if shard_size is None:
+            raise ValueError("HYBRID_SHARD requires shard_size")
+        if world.size % shard_size != 0:
+            raise ValueError(
+                f"world size {world.size} not divisible by shard size {shard_size}"
+            )
+        s = shard_size
+    else:
+        raise ValueError(f"unknown strategy {strategy}")
+
+    b = _StepBuilder(world, cost_model, p)
+    sharded = s > 1
+    regather_in_backward = sharded and strategy in (
+        ShardingStrategy.FULL_SHARD,
+        ShardingStrategy.HYBRID_SHARD,
+    )
+    shard_pl = shard_group_placement(world, s) if sharded else None
+    replica_pl = (
+        replica_group_placement(world, s)
+        if strategy in (ShardingStrategy.HYBRID_SHARD,)
+        else None
+    )
+    world_pl = world_placement(world)
+    gather_infl = 1.0 if p.limit_all_gathers else 1.0 + p.congestion_factor
+
+    def t_ag(u: UnitCost) -> float:
+        return cost_model.all_gather(u.param_bytes, shard_pl) * gather_infl
+
+    # ---- forward ---------------------------------------------------------
+    fwd_ids: list[int] = []
+    for i, u in enumerate(units):
+        deps: list[int] = []
+        if sharded:
+            ag_deps: list[int] = []
+            if p.limit_all_gathers and i >= p.gather_window:
+                ag_deps.append(fwd_ids[i - p.gather_window])
+            agid = b.add_comm(f"AGf:{u.name}", t_ag(u), tuple(ag_deps))
+            if not p.limit_all_gathers:
+                b.add_stall(f"stall_f:{u.name}", p.alloc_stall_s)
+            deps.append(agid)
+        fwd_ids.append(b.add_compute(f"F:{u.name}", u.fwd_seconds, tuple(deps)))
+
+    # ---- backward --------------------------------------------------------
+    n = len(units)
+    agb_ids: dict[int, int] = {}
+    if regather_in_backward:
+        u_last = units[n - 1]
+        agb_ids[n - 1] = b.add_comm(
+            f"AGb:{u_last.name}", t_ag(u_last), (fwd_ids[-1],)
+        )
+        if not p.limit_all_gathers:
+            b.add_stall(f"stall_b:{u_last.name}", p.alloc_stall_s)
+    grad_final_ids: list[int] = []
+    bwd_ids: dict[int, int] = {}
+
+    if strategy is ShardingStrategy.DDP:
+        # Backward computes first (ids known), buckets attach to readiness.
+        for i in range(n - 1, -1, -1):
+            u = units[i]
+            bwd_ids[i] = b.add_compute(f"B:{u.name}", u.bwd_seconds)
+        pseudo: list[tuple[int, int]] = []  # (unit index, nbytes), fwd order
+        for idx, u in enumerate(units):
+            remaining = u.param_bytes
+            while remaining > 0:
+                take = min(remaining, _DDP_PSEUDO_TENSOR_BYTES)
+                pseudo.append((idx, take))
+                remaining -= take
+        buckets = bucket_gradients(
+            [nb for _, nb in pseudo], cap_bytes=p.ddp_bucket_cap_bytes
+        )
+        for k, bucket in enumerate(buckets):
+            ready_unit = min(pseudo[j][0] for j in bucket.param_indices)
+            dur = cost_model.all_reduce(bucket.nbytes, world_pl) * p.ddp_comm_inflation
+            # Coalesce grads into the bucket's flat buffer and back out.
+            b.add_stall(f"copy_bucket{k}", 2 * bucket.nbytes / p.ddp_copy_bw)
+            grad_final_ids.append(
+                b.add_comm(f"ARbucket{k}", dur, (bwd_ids[ready_unit],))
+            )
+    else:
+        prev_bid: int | None = None
+        for i in range(n - 1, -1, -1):
+            u = units[i]
+            deps = [agb_ids[i]] if regather_in_backward else []
+            bid = b.add_compute(f"B:{u.name}", u.bwd_seconds, tuple(deps))
+            bwd_ids[i] = bid
+
+            def issue_next_gather(dep_ids: tuple[int, ...]) -> None:
+                nxt = units[i - 1]
+                agb_ids[i - 1] = b.add_comm(f"AGb:{nxt.name}", t_ag(nxt), dep_ids)
+                if not p.limit_all_gathers:
+                    b.add_stall(f"stall_b:{nxt.name}", p.alloc_stall_s)
+
+            want_prefetch = regather_in_backward and i > 0
+            if want_prefetch and p.prefetch is BackwardPrefetch.BACKWARD_PRE:
+                # Issued before the reduce-scatter; unblocked by the
+                # previous gather (rate-limited to the backward pace when
+                # limit_all_gathers is on).
+                dep = (
+                    (prev_bid,)
+                    if (p.limit_all_gathers and prev_bid is not None)
+                    else (agb_ids[i],)
+                )
+                issue_next_gather(dep)
+
+            if sharded:
+                d_rs = cost_model.reduce_scatter(u.param_bytes, shard_pl)
+                rsid = b.add_comm(f"RS:{u.name}", d_rs, (bid,))
+                last = rsid
+                if replica_pl is not None and replica_pl.group_size > 1:
+                    d_ar = cost_model.all_reduce(u.param_bytes / s, replica_pl)
+                    last = b.add_comm(f"ARrep:{u.name}", d_ar, (rsid,))
+                grad_final_ids.append(last)
+            else:
+                # NO_SHARD or HYBRID_1GPU: full-gradient all-reduce.
+                d_ar = cost_model.all_reduce(u.param_bytes, world_pl)
+                if strategy is ShardingStrategy.NO_SHARD:
+                    d_ar *= p.noshard_comm_inflation
+                grad_final_ids.append(b.add_comm(f"AR:{u.name}", d_ar, (bid,)))
+                rsid = grad_final_ids[-1]
+
+            if want_prefetch and p.prefetch is not BackwardPrefetch.BACKWARD_PRE:
+                if p.prefetch is BackwardPrefetch.BACKWARD_POST:
+                    issue_next_gather((bid,))
+                else:  # NONE: wait for the reduce-scatter to finish
+                    issue_next_gather((rsid,))
+            prev_bid = bid
+
+    # ---- optimizer ---------------------------------------------------------
+    if p.optimizer_seconds > 0:
+        b.add_compute("optimizer", p.optimizer_seconds, tuple(grad_final_ids))
+
+    return StepSchedule(
+        timeline=b.tl,
+        comm_seconds=b.comm_seconds,
+        comm_calls=b.comm_calls,
+        compute_seconds=b.compute_seconds,
+        stall_seconds=b.stall_seconds,
+        notes={"strategy": strategy.value, "shard_size": s},
+    )

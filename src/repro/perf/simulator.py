@@ -1,0 +1,288 @@
+"""End-to-end training-step simulator (drives Figures 1-4).
+
+Combines the compute model, collective cost model, schedule builder,
+memory model, and IO model into one object that answers: *for this model,
+on this many Frontier nodes, under this sharding strategy, what does one
+training step look like?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import MAEConfig, ViTConfig
+from repro.core.sharding import BackwardPrefetch, ShardingStrategy
+from repro.hardware.frontier import Machine
+from repro.hardware.power import PowerModel, PowerTrace
+from repro.perf.compute_model import (
+    BYTES_PER_PARAM,
+    mae_workload_units,
+    vit_workload_units,
+)
+from repro.perf.io_model import IoModel
+from repro.perf.memory_model import MemoryBreakdown, memory_breakdown
+from repro.perf.schedule import ScheduleParams, StepSchedule, build_step_schedule
+
+__all__ = ["PerfParams", "StepBreakdown", "TrainStepSimulator"]
+
+#: Bytes touched per parameter by a fused AdamW step (read p/g/m/v, write
+#: p/m/v at fp32).
+_ADAMW_BYTES_PER_PARAM = 28
+#: Fixed per-step host-side overhead (python loop, dataloader handoff).
+_HOST_OVERHEAD_S = 5e-3
+#: Throughput tax of the real data pipeline vs cached synthetic inputs.
+_DATALOADER_OVERHEAD = 0.04
+
+
+@dataclass(frozen=True)
+class PerfParams:
+    """User-facing simulation knobs.
+
+    The reallocation-pressure parameters model a measured Frontier
+    pathology the paper's Fig. 4 observations hinge on: strategies that
+    re-materialize parameters every step (FULL_SHARD and HYBRID with
+    shard groups > 1) continuously allocate and free large buffers; when
+    resident memory is a large fraction of HBM, the caching allocator
+    falls back to slow synchronous frees and the whole step slows down.
+    Statically-allocated strategies (NO_SHARD, DDP, HYBRID_1GPU, and
+    SHARD_GRAD_OP's resident parameters) are immune — which is exactly
+    why the paper can run a 60 GB-resident ViT-3B fastest with
+    HYBRID_1GPU (Fig. 3) while the ViT-5B's HYBRID_2GPUs (memory-tight)
+    loses to HYBRID_8GPUs (memory-light) at scale (Fig. 4).
+    """
+
+    local_batch: int = 32
+    prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE
+    limit_all_gathers: bool = True
+    schedule: ScheduleParams = ScheduleParams()
+    #: HBM-occupancy fraction above which reallocation slowdown kicks in.
+    realloc_pressure_threshold: float = 0.55
+    #: Compute-time inflation at 100% HBM occupancy (quadratic ramp).
+    realloc_penalty: float = 6.0
+
+    def resolved_schedule(self, optimizer_seconds: float) -> ScheduleParams:
+        """Schedule params with prefetch/limit/optimizer time applied."""
+        return replace(
+            self.schedule,
+            prefetch=self.prefetch,
+            limit_all_gathers=self.limit_all_gathers,
+            optimizer_seconds=optimizer_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """Everything the paper reports about one training step."""
+
+    step_time_s: float  # 'syn': compute + communication, cached data
+    step_time_no_comm_s: float  # 'syn no comm'
+    io_step_time_s: float  # dataloader-only time per step ('IO')
+    real_step_time_s: float  # 'real': full application
+    comm_seconds: float
+    exposed_comm_seconds: float
+    comm_calls: int
+    compute_seconds: float
+    world_size: int
+    local_batch: int
+    memory: MemoryBreakdown
+
+    def _ips(self, t: float) -> float:
+        return self.world_size * self.local_batch / t if t > 0 else float("inf")
+
+    @property
+    def ips(self) -> float:
+        """Global images/second of the synthetic (compute+comm) run."""
+        return self._ips(self.step_time_s)
+
+    @property
+    def ips_no_comm(self) -> float:
+        """Images/second without communication ('syn no comm')."""
+        return self._ips(self.step_time_no_comm_s)
+
+    @property
+    def ips_io(self) -> float:
+        """Images/second of the dataloader alone ('IO')."""
+        return self._ips(self.io_step_time_s)
+
+    @property
+    def ips_real(self) -> float:
+        """Images/second of the full application ('real')."""
+        return self._ips(self.real_step_time_s)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the synthetic step lost to (exposed) communication."""
+        return self.exposed_comm_seconds / self.step_time_s if self.step_time_s else 0.0
+
+    @property
+    def compute_occupancy(self) -> float:
+        """Share of the step spent computing."""
+        return min(1.0, self.compute_seconds / self.step_time_s)
+
+    @property
+    def comm_occupancy(self) -> float:
+        """Fraction of the step with communication in flight.
+
+        Defined so that ``compute_occupancy + max(0, comm_occupancy -
+        compute_occupancy)`` — the power model's busy fraction — equals
+        the schedule's true busy share (compute plus *exposed*
+        communication); overlapped communication is already inside the
+        compute span.
+        """
+        return min(
+            1.0,
+            self.compute_occupancy + self.exposed_comm_seconds / self.step_time_s,
+        )
+
+
+class TrainStepSimulator:
+    """Simulates one training step of a ViT or MAE workload.
+
+    Parameters
+    ----------
+    model:
+        A :class:`ViTConfig` (plain encoder training, paper Figs. 2-4) or
+        :class:`MAEConfig` (pretraining workload, paper Fig. 1).
+    machine:
+        A machine slice from :func:`repro.hardware.frontier_machine`.
+    strategy / shard_size:
+        Sharding configuration (shard_size for HYBRID_SHARD only).
+    params:
+        Simulation knobs (local batch, prefetch policy, ...).
+    io:
+        Dataloader model for the 'IO' and 'real' curves.
+    """
+
+    def __init__(
+        self,
+        model: ViTConfig | MAEConfig,
+        machine: Machine,
+        strategy: ShardingStrategy,
+        shard_size: int | None = None,
+        params: PerfParams | None = None,
+        io: IoModel | None = None,
+    ):
+        self.model = model
+        self.machine = machine
+        self.strategy = strategy
+        self.shard_size = shard_size
+        self.params = params if params is not None else PerfParams()
+        self.io = io if io is not None else IoModel()
+        self.world = machine.world()
+        if isinstance(model, MAEConfig):
+            self.units = mae_workload_units(
+                model, self.params.local_batch, machine.gpu
+            )
+        else:
+            self.units = vit_workload_units(
+                model, self.params.local_batch, machine.gpu
+            )
+        mult = self._realloc_multiplier()
+        if mult > 1.0:
+            self.units = [
+                replace(u, fwd_seconds=u.fwd_seconds * mult) for u in self.units
+            ]
+
+    def _realloc_multiplier(self) -> float:
+        """Compute-time inflation from allocator churn under HBM pressure."""
+        reallocating = self.strategy is ShardingStrategy.FULL_SHARD or (
+            self.strategy is ShardingStrategy.HYBRID_SHARD
+            and (self.shard_size or 1) > 1
+        )
+        if not reallocating:
+            return 1.0
+        pressure = self.memory().total / self.machine.gpu.hbm_bytes
+        thresh = self.params.realloc_pressure_threshold
+        if pressure <= thresh:
+            return 1.0
+        x = min(1.0, (pressure - thresh) / (1.0 - thresh))
+        return 1.0 + self.params.realloc_penalty * x * x
+
+    # -- pieces --------------------------------------------------------------
+
+    def total_param_bytes(self) -> int:
+        """Parameter bytes across all workload units."""
+        return sum(u.param_bytes for u in self.units)
+
+    def _local_state_params(self) -> float:
+        """Parameters whose optimizer state this rank owns."""
+        total = self.total_param_bytes() / BYTES_PER_PARAM
+        if self.strategy in (ShardingStrategy.NO_SHARD, ShardingStrategy.DDP):
+            return total
+        if self.strategy in (
+            ShardingStrategy.FULL_SHARD,
+            ShardingStrategy.SHARD_GRAD_OP,
+        ):
+            return total / self.world.size
+        if self.strategy is ShardingStrategy.HYBRID_SHARD:
+            if self.shard_size is None:
+                raise ValueError("HYBRID_SHARD requires shard_size")
+            return total / self.shard_size
+        raise ValueError(f"unknown strategy {self.strategy}")
+
+    def optimizer_seconds(self) -> float:
+        """HBM-bound AdamW step time on this rank's parameter shard."""
+        return (
+            self._local_state_params()
+            * _ADAMW_BYTES_PER_PARAM
+            / self.machine.gpu.hbm_bw
+        )
+
+    def build_schedule(self) -> StepSchedule:
+        """Build this configuration's one-step task graph."""
+        return build_step_schedule(
+            units=self.units,
+            strategy=self.strategy,
+            world=self.world,
+            cost_model=self.machine.cost_model,
+            shard_size=self.shard_size,
+            params=self.params.resolved_schedule(self.optimizer_seconds()),
+        )
+
+    def memory(self) -> MemoryBreakdown:
+        """Per-GPU memory breakdown of this configuration."""
+        return memory_breakdown(
+            self.model,
+            self.strategy,
+            world_size=self.world.size,
+            shard_size=self.shard_size,
+            local_batch=self.params.local_batch,
+        )
+
+    # -- the answer ------------------------------------------------------------
+
+    def simulate(self) -> StepBreakdown:
+        """Time one training step; returns the full breakdown."""
+        sched = self.build_schedule()
+        syn = sched.step_time + _HOST_OVERHEAD_S
+        no_comm = sched.step_time_no_comm + _HOST_OVERHEAD_S
+        io_t = self.io.step_time(self.params.local_batch, self.world.size)
+        real = max(syn, io_t) * (1.0 + _DATALOADER_OVERHEAD)
+        return StepBreakdown(
+            step_time_s=syn,
+            step_time_no_comm_s=no_comm,
+            io_step_time_s=io_t,
+            real_step_time_s=real,
+            comm_seconds=sched.comm_seconds,
+            exposed_comm_seconds=sched.exposed_comm_seconds,
+            comm_calls=sched.comm_calls,
+            compute_seconds=sched.compute_seconds,
+            world_size=self.world.size,
+            local_batch=self.params.local_batch,
+            memory=self.memory(),
+        )
+
+    def power_trace(
+        self, n_steps: int = 50, label: str | None = None, power: PowerModel | None = None
+    ) -> PowerTrace:
+        """rocm-smi-style trace of this configuration (paper Fig. 4 panel)."""
+        bd = self.simulate()
+        pm = power if power is not None else PowerModel()
+        return pm.trace(
+            step_time_s=bd.step_time_s,
+            compute_occupancy=bd.compute_occupancy,
+            comm_occupancy=bd.comm_occupancy,
+            memory_bytes=bd.memory.total,
+            n_steps=n_steps,
+            label=label or f"{self.strategy.value}",
+        )

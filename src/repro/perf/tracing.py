@@ -1,0 +1,62 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export of simulated steps.
+
+Serializes a scheduled :class:`~repro.perf.events.Timeline` to the Trace
+Event JSON format so simulated steps can be inspected visually, the same
+way one would inspect a real PyTorch profiler trace of an FSDP step.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.events import ScheduledTask, Timeline
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+_US = 1e6  # trace event timestamps are microseconds
+
+
+def to_chrome_trace(timeline: Timeline, process_name: str = "rank0") -> list[dict]:
+    """Convert a timeline into a list of Chrome 'X' (complete) events."""
+    sched: list[ScheduledTask] = timeline.run()
+    resources = sorted({s.task.resource for s in sched})
+    tid_of = {r: i for i, r in enumerate(resources)}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    events.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": resource},
+        }
+        for resource, tid in tid_of.items()
+    )
+    events.extend(
+        {
+            "name": s.task.name,
+            "ph": "X",
+            "pid": 0,
+            "tid": tid_of[s.task.resource],
+            "ts": s.start * _US,
+            "dur": s.task.duration * _US,
+            "cat": s.task.resource,
+        }
+        for s in sched
+    )
+    return events
+
+
+def write_chrome_trace(
+    timeline: Timeline, path: str, process_name: str = "rank0"
+) -> None:
+    """Write the trace JSON to ``path`` (open with chrome://tracing)."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": to_chrome_trace(timeline, process_name)}, f)

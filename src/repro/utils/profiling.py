@@ -1,0 +1,73 @@
+"""Lightweight profiling helpers ("no optimization without measuring").
+
+A :class:`SectionProfiler` accumulates wall time per named section with
+negligible overhead; the trainer uses it to split steps into data /
+forward-backward / reduction / optimizer time, and tests use it to keep
+hot paths honest.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "SectionProfiler"]
+
+
+class Timer:
+    """Context manager measuring one wall-clock span."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class SectionProfiler:
+    """Accumulates time and call counts per named section."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str):
+        """Context manager timing one named section."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + dt
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        """Total seconds across sections."""
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Share of total time per section (empty profiler -> empty)."""
+        t = self.total
+        if t <= 0:
+            return {}
+        return {k: v / t for k, v in self.seconds.items()}
+
+    def report(self) -> str:
+        """One line per section, largest first."""
+        rows = sorted(self.seconds.items(), key=lambda kv: -kv[1])
+        width = max((len(k) for k in self.seconds), default=0)
+        return "\n".join(
+            f"{k.rjust(width)}: {v:9.4f} s  x{self.calls[k]}" for k, v in rows
+        )
+
+    def reset(self) -> None:
+        """Clear all accumulated sections."""
+        self.seconds.clear()
+        self.calls.clear()

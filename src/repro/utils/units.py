@@ -1,0 +1,53 @@
+"""Byte / count / time unit constants and human-readable formatting."""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_count",
+    "format_time",
+]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count using binary units (matches GPU memory reporting)."""
+    n = float(n)
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_count(n: float) -> str:
+    """Format a large count, e.g. parameter totals (3.07e9 -> '3067M')."""
+    n = float(n)
+    if abs(n) >= 1e9:
+        return f"{n / 1e9:.2f}B"
+    if abs(n) >= 1e6:
+        return f"{n / 1e6:.0f}M"
+    if abs(n) >= 1e3:
+        return f"{n / 1e3:.0f}K"
+    return f"{n:.0f}"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration in the most readable unit."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.3f} s"
+    if abs(s) >= 1e-3:
+        return f"{s * 1e3:.3f} ms"
+    return f"{s * 1e6:.1f} us"

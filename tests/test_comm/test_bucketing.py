@@ -1,0 +1,60 @@
+"""Tests for DDP gradient bucketing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.bucketing import DEFAULT_BUCKET_CAP_BYTES, bucket_gradients
+
+
+class TestBucketing:
+    def test_reverse_order_fill(self):
+        buckets = bucket_gradients([10, 10, 10], cap_bytes=100, first_bucket_cap_bytes=None)
+        assert len(buckets) == 1
+        assert buckets[0].param_indices == [2, 1, 0]
+
+    def test_cap_splits(self):
+        buckets = bucket_gradients(
+            [60, 60, 60], cap_bytes=100, first_bucket_cap_bytes=None
+        )
+        assert [b.param_indices for b in buckets] == [[2], [1], [0]]
+
+    def test_small_first_bucket_starts_comm_early(self):
+        buckets = bucket_gradients([50, 50, 50], cap_bytes=200, first_bucket_cap_bytes=50)
+        assert buckets[0].param_indices == [2]
+        assert buckets[1].param_indices == [1, 0]
+
+    def test_oversized_param_gets_own_bucket(self):
+        buckets = bucket_gradients(
+            [10, 500, 10], cap_bytes=100, first_bucket_cap_bytes=None
+        )
+        assert [500] in ([b.nbytes] for b in buckets)
+
+    def test_bucket_count_grows_with_model_size(self):
+        small = bucket_gradients([DEFAULT_BUCKET_CAP_BYTES // 10] * 10)
+        large = bucket_gradients([DEFAULT_BUCKET_CAP_BYTES // 10] * 100)
+        assert len(large) > len(small)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            bucket_gradients([10], cap_bytes=0)
+        with pytest.raises(ValueError, match="negative"):
+            bucket_gradients([-1])
+
+    def test_empty(self):
+        assert bucket_gradients([]) == []
+
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=1000), max_size=60),
+        cap=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, sizes, cap):
+        """Buckets form a partition of the parameter indices, byte totals
+        match, and no bucket (except singletons) exceeds the cap."""
+        buckets = bucket_gradients(sizes, cap_bytes=cap, first_bucket_cap_bytes=None)
+        seen = [i for b in buckets for i in b.param_indices]
+        assert sorted(seen) == list(range(len(sizes)))
+        assert sum(b.nbytes for b in buckets) == sum(sizes)
+        for b in buckets:
+            assert b.nbytes <= cap or len(b.param_indices) == 1

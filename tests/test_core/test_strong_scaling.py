@@ -1,0 +1,39 @@
+"""Tests for the strong-scaling driver."""
+
+import pytest
+
+from repro.core.config import get_vit_config
+from repro.core.scaling import run_strong_scaling
+
+
+class TestStrongScaling:
+    def test_local_batch_shrinks(self):
+        cfg = get_vit_config("vit-3b")
+        series = run_strong_scaling(cfg, "NO_SHARD", [1, 2], global_batch=512)
+        assert series.points[0].breakdown.local_batch == 64
+        assert series.points[1].breakdown.local_batch == 32
+
+    def test_efficiency_decays(self):
+        """Strong scaling pays: efficiency falls as local work shrinks."""
+        cfg = get_vit_config("vit-3b")
+        series = run_strong_scaling(
+            cfg, "NO_SHARD", [1, 4, 16], global_batch=2048
+        )
+        eff = series.efficiency()
+        assert eff[0] == pytest.approx(1.0)
+        assert eff[-1] < eff[1] < 1.0
+
+    def test_throughput_still_grows_in_good_regime(self):
+        cfg = get_vit_config("vit-3b")
+        series = run_strong_scaling(cfg, "NO_SHARD", [1, 2, 4], global_batch=1024)
+        assert series.ips == sorted(series.ips)
+
+    def test_indivisible_batch_rejected(self):
+        cfg = get_vit_config("vit-base")
+        with pytest.raises(ValueError, match="divisible"):
+            run_strong_scaling(cfg, "NO_SHARD", [3], global_batch=100)
+
+    def test_label_records_mode(self):
+        cfg = get_vit_config("vit-base")
+        series = run_strong_scaling(cfg, "DDP", [1], global_batch=64)
+        assert "strong" in series.strategy

@@ -1,0 +1,84 @@
+"""Tests for the segmentation dataset and composite scene generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.segmentation import (
+    N_SEG_CLASSES,
+    build_segmentation_dataset,
+    patch_majority_labels,
+)
+from repro.data.synthetic import FAMILY_NAMES, SceneGenerator
+
+
+class TestCompositeScenes:
+    def test_shapes_and_label_range(self, rng):
+        gen = SceneGenerator(img_size=32, n_classes=8, noise_std=0.1)
+        img, labels = gen.generate_composite(0, 1, rng)
+        assert img.shape == (3, 32, 32)
+        assert labels.shape == (32, 32)
+        assert labels.min() >= 0 and labels.max() < len(FAMILY_NAMES)
+
+    def test_labels_match_source_families(self, rng):
+        gen = SceneGenerator(img_size=16, n_classes=8, noise_std=0.0)
+        _, labels = gen.generate_composite(0, 1, rng)
+        fams = {gen._class_params[0].family, gen._class_params[1].family}
+        assert set(np.unique(labels)) <= fams
+
+    def test_two_regions_usually_present(self):
+        gen = SceneGenerator(img_size=32, n_classes=8, noise_std=0.0)
+        rng = np.random.default_rng(0)
+        # Pick classes from distinct families so labels can differ.
+        both = sum(
+            len(np.unique(gen.generate_composite(0, 1, rng)[1])) == 2
+            for _ in range(10)
+        )
+        assert both >= 5  # boundary occasionally misses the frame; mostly 2
+
+    def test_invalid_class(self, rng):
+        gen = SceneGenerator(img_size=16, n_classes=4)
+        with pytest.raises(ValueError, match="out of range"):
+            gen.generate_composite(0, 9, rng)
+
+
+class TestPatchMajority:
+    def test_uniform_patch(self):
+        labels = np.full((8, 8), 3)
+        np.testing.assert_array_equal(patch_majority_labels(labels, 4), [3, 3, 3, 3])
+
+    def test_majority_wins(self):
+        labels = np.zeros((4, 4), dtype=int)
+        labels[:2, :2] = 1  # 4 of 16 pixels in patch 0 (patch=4 -> 1 patch)
+        assert patch_majority_labels(labels, 4)[0] == 0
+        labels[:3, :3] = 1  # 9 of 16
+        assert patch_majority_labels(labels, 4)[0] == 1
+
+    def test_patch_order_row_major(self):
+        labels = np.zeros((4, 4), dtype=int)
+        labels[:2, 2:] = 5  # top-right patch
+        out = patch_majority_labels(labels, 2)
+        np.testing.assert_array_equal(out, [0, 5, 0, 0])
+
+    def test_indivisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            patch_majority_labels(np.zeros((6, 6), dtype=int), 4)
+
+
+class TestBuildDataset:
+    def test_structure(self):
+        ds = build_segmentation_dataset(n_images=6, img_size=16, patch=8)
+        assert len(ds) == 6
+        assert ds.images.shape == (6, 3, 16, 16)
+        assert ds.patch_labels.shape == (6, 4)
+        assert ds.pixel_labels.shape == (6, 16, 16)
+        assert ds.n_classes == N_SEG_CLASSES
+
+    def test_deterministic(self):
+        a = build_segmentation_dataset(n_images=4, img_size=16, seed=2)
+        b = build_segmentation_dataset(n_images=4, img_size=16, seed=2)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.patch_labels, b.patch_labels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            build_segmentation_dataset(n_images=0)

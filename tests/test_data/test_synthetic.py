@@ -1,0 +1,71 @@
+"""Tests for the procedural scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import FAMILY_NAMES, SceneGenerator
+
+
+class TestSceneGenerator:
+    def test_output_shape_and_range(self, rng):
+        gen = SceneGenerator(img_size=32, n_classes=6)
+        img = gen.generate(0, rng)
+        assert img.shape == (3, 32, 32)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_batch_generation(self, rng):
+        gen = SceneGenerator(img_size=16, n_classes=6)
+        batch = gen.generate_batch(np.array([0, 1, 2]), rng)
+        assert batch.shape == (3, 3, 16, 16)
+
+    def test_every_family_reachable(self, rng):
+        gen = SceneGenerator(img_size=16, n_classes=len(FAMILY_NAMES))
+        for c in range(len(FAMILY_NAMES)):
+            img = gen.generate(c, rng)
+            assert np.isfinite(img).all()
+
+    def test_deterministic_under_same_rng_state(self):
+        gen = SceneGenerator(img_size=16, n_classes=4, salt=9)
+        a = gen.generate(1, np.random.default_rng(0))
+        b = gen.generate(1, np.random.default_rng(0))
+        np.testing.assert_array_equal(a, b)
+
+    def test_intra_class_variation(self, rng):
+        """Two samples of one class differ (nuisance variation exists)."""
+        gen = SceneGenerator(img_size=16, n_classes=4)
+        a, b = gen.generate(0, rng), gen.generate(0, rng)
+        assert not np.allclose(a, b)
+
+    def test_salt_changes_class_definitions(self, rng):
+        g1 = SceneGenerator(img_size=16, n_classes=4, salt=1, noise_std=0.0)
+        g2 = SceneGenerator(img_size=16, n_classes=4, salt=2, noise_std=0.0)
+        a = g1.generate(0, np.random.default_rng(0))
+        b = g2.generate(0, np.random.default_rng(0))
+        assert not np.allclose(a, b)
+
+    def test_classes_statistically_distinguishable(self):
+        """A trivial nearest-centroid classifier on downsampled pixels
+        beats chance, confirming classes carry signal (but, per design,
+        is far from perfect)."""
+        n_cls, n_per = 6, 30
+        gen = SceneGenerator(img_size=16, n_classes=n_cls, noise_std=0.1)
+        rng = np.random.default_rng(0)
+        labels = np.repeat(np.arange(n_cls), n_per)
+        imgs = gen.generate_batch(labels, rng).reshape(len(labels), -1)
+        train, test = imgs[::2], imgs[1::2]
+        ytr, yte = labels[::2], labels[1::2]
+        centroids = np.stack([train[ytr == c].mean(axis=0) for c in range(n_cls)])
+        d = ((test[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        acc = (d.argmin(axis=1) == yte).mean()
+        assert acc > 1.5 / n_cls
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            SceneGenerator(img_size=4)
+        with pytest.raises(ValueError):
+            SceneGenerator(n_classes=1)
+        with pytest.raises(ValueError):
+            SceneGenerator(noise_std=-0.1)
+        gen = SceneGenerator(n_classes=4)
+        with pytest.raises(ValueError, match="out of range"):
+            gen.generate(4, rng)

@@ -1,0 +1,76 @@
+"""Tests for few-shot probing."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ArrayDataset, DatasetSpec, SplitDataset
+from repro.eval.few_shot import few_shot_indices, few_shot_probe
+from repro.models.mae import MaskedAutoencoder
+
+
+class TestFewShotIndices:
+    def test_exactly_k_per_class(self, rng):
+        labels = np.repeat(np.arange(4), 10)
+        idx = few_shot_indices(labels, 3, rng)
+        assert len(idx) == 12
+        counts = np.bincount(labels[idx])
+        np.testing.assert_array_equal(counts, 3)
+
+    def test_deterministic_under_rng(self):
+        labels = np.repeat(np.arange(3), 5)
+        a = few_shot_indices(labels, 2, np.random.default_rng(1))
+        b = few_shot_indices(labels, 2, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_insufficient_examples(self, rng):
+        labels = np.array([0, 0, 1])
+        with pytest.raises(ValueError, match="only"):
+            few_shot_indices(labels, 2, rng)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            few_shot_indices(np.zeros(4, int), 0, rng)
+
+
+class TestFewShotProbe:
+    def test_accuracy_grows_with_shots(self, tiny_mae_cfg, rng):
+        model = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(1))
+        # Build a separable problem in *image* space so even an untrained
+        # encoder carries some class signal through.
+        n_tr, n_te, c = 40, 24, 2
+        y_tr = np.arange(n_tr) % c
+        y_te = np.arange(n_te) % c
+        imgs_tr = rng.standard_normal((n_tr, 3, 16, 16)) * 0.1
+        imgs_te = rng.standard_normal((n_te, 3, 16, 16)) * 0.1
+        imgs_tr[y_tr == 1] += 2.0
+        imgs_te[y_te == 1] += 2.0
+        data = SplitDataset(
+            spec=DatasetSpec("toy", c, n_tr, n_te, 1, 0.1, c, n_tr, n_te),
+            train=ArrayDataset(imgs_tr, y_tr),
+            test=ArrayDataset(imgs_te, y_te),
+        )
+        result = few_shot_probe(model, data, shots=[2, 16], epochs=10, seed=0)
+        assert result.shots == [2, 16]
+        assert result.top1[-1] >= result.top1[0]
+        assert result.top1[-1] > 0.8  # trivially separable at 16 shots
+
+    def test_records_probes(self, tiny_mae_cfg, rng):
+        model = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(1))
+        data = SplitDataset(
+            spec=DatasetSpec("toy", 2, 8, 8, 1, 0.1, 2, 8, 8),
+            train=ArrayDataset(rng.standard_normal((8, 3, 16, 16)), np.arange(8) % 2),
+            test=ArrayDataset(rng.standard_normal((8, 3, 16, 16)), np.arange(8) % 2),
+        )
+        result = few_shot_probe(model, data, shots=[1], epochs=2)
+        assert len(result.probes) == 1
+        assert result.dataset == "toy"
+
+    def test_requires_shots(self, tiny_mae_cfg, rng):
+        model = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(1))
+        data = SplitDataset(
+            spec=DatasetSpec("toy", 2, 8, 8, 1, 0.1, 2, 8, 8),
+            train=ArrayDataset(rng.standard_normal((8, 3, 16, 16)), np.arange(8) % 2),
+            test=ArrayDataset(rng.standard_normal((8, 3, 16, 16)), np.arange(8) % 2),
+        )
+        with pytest.raises(ValueError, match="shot count"):
+            few_shot_probe(model, data, shots=[])

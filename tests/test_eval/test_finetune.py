@@ -1,0 +1,106 @@
+"""Tests for fine-tuning protocols."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ArrayDataset, DatasetSpec, SplitDataset
+from repro.eval.finetune import finetune, vit_from_mae
+from repro.models.mae import MaskedAutoencoder
+
+
+@pytest.fixture
+def mae(tiny_mae_cfg):
+    return MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(3))
+
+
+@pytest.fixture
+def toy_data(rng):
+    n_tr, n_te, c = 32, 16, 2
+    y_tr, y_te = np.arange(n_tr) % c, np.arange(n_te) % c
+    # Make the task learnable: class 1 images are brighter.
+    x_tr = rng.standard_normal((n_tr, 3, 16, 16)) * 0.2
+    x_te = rng.standard_normal((n_te, 3, 16, 16)) * 0.2
+    x_tr[y_tr == 1] += 1.5
+    x_te[y_te == 1] += 1.5
+    return SplitDataset(
+        spec=DatasetSpec("toy", c, n_tr, n_te, 1, 0.1, c, n_tr, n_te),
+        train=ArrayDataset(x_tr, y_tr),
+        test=ArrayDataset(x_te, y_te),
+    )
+
+
+class TestVitFromMae:
+    def test_copies_encoder_weights(self, mae):
+        vit = vit_from_mae(mae, n_classes=4)
+        mae_params = dict(mae.named_parameters())
+        vit_params = dict(vit.named_parameters())
+        np.testing.assert_array_equal(
+            vit_params["patch_embed.proj.weight"].data,
+            mae_params["patch_proj.weight"].data,
+        )
+        np.testing.assert_array_equal(
+            vit_params["block1.attn.qkv.weight"].data,
+            mae_params["enc_block1.attn.qkv.weight"].data,
+        )
+        np.testing.assert_array_equal(
+            vit_params["norm.gamma"].data, mae_params["enc_norm.gamma"].data
+        )
+
+    def test_head_fresh_and_sized(self, mae):
+        vit = vit_from_mae(mae, n_classes=7)
+        assert vit.head.weight.data.shape == (mae.cfg.encoder.width, 7)
+
+    def test_features_match_mae_encoder(self, mae, rng):
+        """The transplanted ViT computes the same features the MAE
+        encoder produced (the transfer is exact)."""
+        vit = vit_from_mae(mae, n_classes=3)
+        imgs = rng.standard_normal((2, 3, 16, 16))
+        np.testing.assert_allclose(
+            vit.forward_features(imgs), mae.encode_features(imgs), atol=1e-12
+        )
+
+
+class TestFinetune:
+    def test_learns_toy_task(self, mae, toy_data):
+        result = finetune(mae, toy_data, epochs=5, batch_size=16, seed=0)
+        assert result.final_top1 > 0.9
+        assert len(result.top1) == 5
+        assert result.n_trainable == vit_from_mae(mae, 2).n_params()
+
+    def test_freezing_reduces_trainable(self, mae, toy_data):
+        full = finetune(mae, toy_data, epochs=1, freeze_blocks=0)
+        frozen = finetune(
+            mae, toy_data, epochs=1, freeze_blocks=mae.cfg.encoder.depth
+        )
+        assert frozen.n_trainable < full.n_trainable
+
+    def test_frozen_blocks_do_not_move(self, mae, toy_data):
+        vit_ref = vit_from_mae(mae, toy_data.spec.n_classes)
+        before = vit_ref.block0.attn.qkv.weight.data.copy()
+        result = finetune(
+            mae, toy_data, epochs=2, freeze_blocks=mae.cfg.encoder.depth, seed=0
+        )
+        # The run uses its own internal model; verify indirectly: a fully
+        # frozen backbone means only norm+head train, so trainable count
+        # equals those parameters exactly.
+        w = mae.cfg.encoder.width
+        expected = 2 * w + w * toy_data.spec.n_classes + toy_data.spec.n_classes
+        assert result.n_trainable == expected
+        np.testing.assert_array_equal(
+            before, vit_ref.block0.attn.qkv.weight.data
+        )
+
+    def test_from_scratch_baseline(self, mae, toy_data):
+        result = finetune(
+            mae, toy_data, epochs=2, from_scratch=True, seed=0
+        )
+        assert result.from_scratch
+        assert 0.0 <= result.final_top1 <= 1.0
+
+    def test_validation(self, mae, toy_data):
+        with pytest.raises(ValueError, match="positive"):
+            finetune(mae, toy_data, epochs=0)
+        with pytest.raises(ValueError, match="pretrained"):
+            finetune(None, toy_data, from_scratch=False)
+        with pytest.raises(ValueError, match="freeze_blocks"):
+            finetune(mae, toy_data, epochs=1, freeze_blocks=99)

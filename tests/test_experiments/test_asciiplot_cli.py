@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer and the experiment CLI."""
+
+import pytest
+
+from repro.experiments.asciiplot import line_chart
+from repro.experiments.__main__ import main as cli_main
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1, 2, 4], {"a": [1.0, 2.0, 4.0]}, title="t")
+        assert out.splitlines()[0] == "t"
+        assert "o=a" in out
+        assert "o" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_log_axes(self):
+        out = line_chart(
+            [1, 2, 4, 8], {"ips": [10, 20, 40, 80]}, logx=True, logy=True
+        )
+        # Perfect scaling on log-log is a straight diagonal: the marker
+        # must appear in every quarter of the grid width.
+        rows = [line for line in out.splitlines() if "|" in line]
+        cols = sorted(
+            line.index("o") for line in rows if "o" in line
+        )
+        assert len(cols) >= 3
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            line_chart([0, 1], {"a": [1, 2]}, logx=True)
+
+    def test_flat_series_ok(self):
+        out = line_chart([1, 2], {"a": [3.0, 3.0]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_chart([1, 2], {})
+        with pytest.raises(ValueError, match="points"):
+            line_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError, match="two x"):
+            line_chart([1], {"a": [1.0]})
+        with pytest.raises(ValueError, match="small"):
+            line_chart([1, 2], {"a": [1, 2]}, width=4)
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert cli_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig6" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_runs_fast_experiment(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "vit-15b" in out
+
+    def test_runs_fig2(self, capsys):
+        assert cli_main(["fig2"]) == 0
+        assert "BACKWARD_PRE" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Fast unit coverage of the extension experiment drivers.
+
+Uses a two-model / few-step suite so these run in seconds; the
+full-scale runs live in the extension benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import ArrayDataset, DatasetSpec, SplitDataset
+from repro.data.segmentation import build_segmentation_dataset
+from repro.experiments.adaptation import render_adaptation, run_adaptation
+from repro.experiments.downstream import DownstreamRecipe, pretrain_suite
+from repro.experiments.segmentation_exp import (
+    render_segmentation,
+    run_segmentation,
+)
+
+TINY = DownstreamRecipe(
+    corpus_images=64, steps=4, model_names=("proxy-base", "proxy-huge")
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_suite(tmp_path_factory):
+    cache = str(tmp_path_factory.mktemp("suite"))
+    return pretrain_suite(TINY, cache_dir=cache, verbose=False)
+
+
+@pytest.fixture(scope="module")
+def toy_split():
+    rng = np.random.default_rng(0)
+    n_tr, n_te, c = 24, 24, 3
+    y_tr, y_te = np.arange(n_tr) % c, np.arange(n_te) % c
+    return SplitDataset(
+        spec=DatasetSpec("toy", c, n_tr, n_te, 1, 0.1, c, n_tr, n_te),
+        train=ArrayDataset(rng.standard_normal((n_tr, 3, 32, 32)), y_tr),
+        test=ArrayDataset(rng.standard_normal((n_te, 3, 32, 32)), y_te),
+    )
+
+
+class TestAdaptationDriver:
+    def test_runs_all_protocols(self, tiny_suite, toy_split):
+        result = run_adaptation(
+            suite=tiny_suite,
+            models=tuple(TINY.model_names),
+            epochs=1,
+            probe_epochs=2,
+            data=toy_split,
+            dataset="toy",
+        )
+        assert set(result.protocols) == {
+            "scratch", "probe", "finetune-half", "finetune-full",
+        }
+        for m in TINY.model_names:
+            for p in result.protocols:
+                assert 0.0 <= result.top1(m, p) <= 1.0
+        out = render_adaptation(result)
+        assert "Adaptation spectrum" in out
+
+
+class TestSegmentationDriver:
+    def test_runs_and_renders(self, tiny_suite):
+        train = build_segmentation_dataset(n_images=12, img_size=32, seed=0)
+        test = build_segmentation_dataset(n_images=8, img_size=32, seed=1)
+        exp = run_segmentation(
+            suite=tiny_suite, train=train, test=test, epochs=2
+        )
+        assert set(exp.results) == set(TINY.model_names)
+        for r in exp.results.values():
+            assert 0.0 <= r.final_miou <= 1.0
+        assert "mIoU" in render_segmentation(exp)

@@ -1,0 +1,221 @@
+"""Integration tests: the perf experiments must reproduce the paper's
+qualitative claims (Figures 1-4, Tables I-II).
+
+These are the repository's headline assertions: each test encodes one
+sentence of the paper's evaluation section.
+"""
+
+import pytest
+
+from repro.core.sharding import BackwardPrefetch
+from repro.experiments.fig1 import render_fig1, run_fig1
+from repro.experiments.fig2 import best_configuration, render_fig2, run_fig2
+from repro.experiments.fig3 import render_fig3, run_fig3
+from repro.experiments.fig4 import render_fig4, run_fig4
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+
+NODES = [1, 4, 16, 64]
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1(NODES)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_fig2()
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(NODES)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(nodes_5b=[2, 8, 32], nodes_15b=[4, 16, 64])
+
+
+class TestTable1:
+    def test_all_but_5b_match_paper(self):
+        for row in run_table1():
+            if row.cfg.name == "vit-5b":
+                continue
+            assert abs(row.relative_error) < 0.02, row.cfg.name
+
+    def test_render_mentions_inconsistency(self):
+        assert "inconsistent" in render_table1()
+
+
+class TestTable2:
+    def test_train_ratios_match_paper(self):
+        for row in run_table2(img_size=16):
+            assert row.train_ratio == pytest.approx(
+                row.paper_train_ratio, abs=0.005
+            )
+
+    def test_render(self):
+        out = render_table2(run_table2(img_size=16))
+        assert "millionaid" in out and "TR%" in out
+
+
+class TestFig1:
+    def test_io_faster_than_syn_everywhere(self, fig1):
+        c = fig1.curves()
+        assert all(io > syn for io, syn in zip(c["io"], c["syn"]))
+
+    def test_io_syn_gap_grows_with_scale(self, fig1):
+        c = fig1.curves()
+        gaps = [io - syn for io, syn in zip(c["io"], c["syn"])]
+        assert gaps[-1] > gaps[0]
+
+    def test_comm_share_grows_to_about_22pct(self, fig1):
+        fracs = fig1.comm_fractions()
+        assert fracs[-1] > fracs[0]
+        assert 0.15 < fracs[-1] < 0.35  # paper: ~22% at 64 nodes
+
+    def test_syn_below_no_comm_below_ideal_shape(self, fig1):
+        c = fig1.curves()
+        for syn, nc in zip(c["syn"], c["syn_no_comm"]):
+            assert syn <= nc * (1 + 1e-9)
+        # The ideal curve is linear from the first point.
+        assert c["ideal"][-1] == pytest.approx(
+            c["syn"][0] * NODES[-1] / NODES[0]
+        )
+
+    def test_real_tracks_syn(self, fig1):
+        c = fig1.curves()
+        for real, syn in zip(c["real"], c["syn"]):
+            assert real <= syn
+            assert real > 0.9 * syn
+
+    def test_render(self, fig1):
+        out = render_fig1(fig1)
+        assert "syn_no_comm" in out and "communication share" in out
+
+
+class TestFig2:
+    def test_backward_pre_is_best_policy(self, fig2):
+        best = best_configuration(fig2)
+        assert best.prefetch is BackwardPrefetch.BACKWARD_PRE
+        assert best.limit_all_gathers
+
+    def test_limit_all_gathers_never_hurts(self, fig2):
+        by_key = {
+            (p.strategy, p.prefetch, p.limit_all_gathers): p.ips for p in fig2
+        }
+        for (strategy, prefetch, limit), ips in by_key.items():
+            if limit:
+                assert ips >= by_key[(strategy, prefetch, False)]
+
+    def test_prefetch_ordering_within_strategies(self, fig2):
+        by_key = {
+            (p.strategy, p.prefetch, p.limit_all_gathers): p.ips for p in fig2
+        }
+        for strategy in ("HYBRID_2GPUs", "FULL_SHARD"):
+            pre = by_key[(strategy, BackwardPrefetch.BACKWARD_PRE, True)]
+            none = by_key[(strategy, BackwardPrefetch.NONE, True)]
+            assert pre >= none
+
+    def test_differences_are_modest(self, fig2):
+        """Paper: 'differences in performance are not very big'."""
+        per_strategy = {}
+        for p in fig2:
+            per_strategy.setdefault(p.strategy, []).append(p.ips)
+        for ips in per_strategy.values():
+            assert max(ips) / min(ips) < 1.25
+
+    def test_render(self, fig2):
+        assert "BACKWARD_PRE" in render_fig2(fig2)
+
+
+class TestFig3:
+    def test_hybrid1_best_for_every_model_at_scale(self, fig3):
+        for model in fig3.grids:
+            at_scale = {s: fig3.ips(model, s)[-1] for s in fig3.grids[model]}
+            assert at_scale["HYBRID_1GPU"] == max(at_scale.values()), model
+
+    def test_fsdp_beats_ddp_gap_grows_with_size(self, fig3):
+        gaps = []
+        for model in ("vit-base", "vit-huge", "vit-1b", "vit-3b"):
+            ddp = fig3.ips(model, "DDP")[-1]
+            h1 = fig3.ips(model, "HYBRID_1GPU")[-1]
+            gaps.append(h1 / ddp)
+            assert h1 > ddp, model
+        assert gaps[-1] > gaps[0]  # gap grows from base to 3B
+
+    def test_full_shard_worst_fsdp_mode_at_scale(self, fig3):
+        for model in fig3.grids:
+            at_scale = {s: fig3.ips(model, s)[-1] for s in fig3.grids[model]}
+            fsdp_only = {
+                k: v for k, v in at_scale.items() if k != "DDP"
+            }
+            assert at_scale["FULL_SHARD"] == min(fsdp_only.values()), model
+
+    def test_full_shard_efficiency_flattens_earlier_for_small_models(self, fig3):
+        base_eff = fig3.grids["vit-base"]["FULL_SHARD"].efficiency()[-1]
+        big_eff = fig3.grids["vit-3b"]["FULL_SHARD"].efficiency()[-1]
+        assert big_eff > base_eff
+
+    def test_memory_panel_shapes(self, fig3):
+        # Constant for replica strategies, decreasing for FULL_SHARD.
+        m3 = fig3.memory_gib("vit-3b", "NO_SHARD")
+        assert max(m3) - min(m3) < 1e-9
+        assert m3[0] > 55  # paper: >60 GB
+        h2 = fig3.memory_gib("vit-3b", "HYBRID_2GPUs")
+        assert h2[0] < 0.62 * m3[0]
+        fs = fig3.memory_gib("vit-3b", "FULL_SHARD")
+        assert fs[-1] < fs[0]
+        assert fs[-1] < 10  # paper: ~4 GB at scale
+
+    def test_render(self, fig3):
+        out = render_fig3(fig3)
+        assert "vit-3b" in out and "memory" in out
+
+
+class TestFig4:
+    def test_full_shard_scales_better_than_in_fig3(self, fig3, fig4):
+        """Relative FULL_SHARD efficiency at max nodes: better for the
+        big models of Fig. 4 than the small models of Fig. 3."""
+        eff_small = fig3.grids["vit-base"]["FULL_SHARD"].efficiency()[-1]
+        eff_5b = fig4.grid_5b["FULL_SHARD"].efficiency()[-1]
+        assert eff_5b > eff_small
+
+    def test_sgo_scales_best_for_15b(self, fig4):
+        at_scale = {s: g.ips[-1] for s, g in fig4.grid_15b.items()}
+        assert at_scale["SHARD_GRAD_OP"] == max(at_scale.values())
+
+    def test_sgo_beats_full_for_5b_by_paper_ratio(self, fig4):
+        # Paper: 1509 vs 1307 ips at 32 nodes (ratio 1.155).
+        assert 1.02 < fig4.sgo_over_full < 1.3
+
+    def test_hybrid8_beats_hybrid2_for_5b_at_scale(self, fig4):
+        h8 = fig4.grid_5b["HYBRID_8GPUs"].ips[-1]
+        h2 = fig4.grid_5b["HYBRID_2GPUs"].ips[-1]
+        assert h8 > h2
+
+    def test_sgo_memory_above_full_shard(self, fig4):
+        sgo = fig4.grid_15b["SHARD_GRAD_OP"].points[-1].memory.total
+        full = fig4.grid_15b["FULL_SHARD"].points[-1].memory.total
+        assert sgo > full
+
+    def test_power_trace_orderings(self, fig4):
+        traces = fig4.power_traces
+        # Paper: utilization ~100% everywhere; SGO draws more than FULL
+        # (consistent with its higher throughput). The paper's third
+        # claim (HYBRID_2GPUs lowest power) conflicts with its own 5B
+        # throughput results under our model and is a documented
+        # deviation (EXPERIMENTS.md); we only require all strategies
+        # land in a plausible band.
+        for t in traces.values():
+            assert t.mean_utilization > 90
+            assert 150 < t.mean_power < 300
+        assert (
+            traces["SHARD_GRAD_OP"].mean_power > traces["FULL_SHARD"].mean_power
+        )
+
+    def test_render(self, fig4):
+        out = render_fig4(fig4)
+        assert "SHARD_GRAD_OP vs FULL_SHARD" in out and "rocm-smi" in out

@@ -1,0 +1,44 @@
+"""Tests for the report renderers."""
+
+import pytest
+
+from repro.experiments.report import render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in out and "30" in out
+
+    def test_precision(self):
+        out = render_table(["x"], [[1.23456]], precision=4)
+        assert "1.2346" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_curves_as_columns(self):
+        out = render_series("x", [1, 2], {"f": [10.0, 20.0], "g": [1.0, 2.0]})
+        assert "f" in out and "g" in out and "20.0" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            render_series("x", [1, 2], {"f": [1.0]})
+
+
+class TestRenderKv:
+    def test_alignment(self):
+        out = render_kv({"a": 1, "long_key": 2}, title="hdr")
+        lines = out.splitlines()
+        assert lines[0] == "hdr"
+        assert all(": " in line for line in lines[1:])

@@ -1,0 +1,104 @@
+"""Tests for multi-head attention and the transformer block."""
+
+import numpy as np
+import pytest
+
+from repro.models.attention import MultiHeadSelfAttention
+from repro.models.blocks import TransformerBlock
+from tests.conftest import central_difference_check
+
+
+class TestAttention:
+    def test_shapes(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        x = rng.standard_normal((2, 7, 16))
+        assert attn(x).shape == (2, 7, 16)
+
+    def test_width_head_divisibility(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            MultiHeadSelfAttention(10, 3, rng=rng)
+
+    def test_permutation_equivariance(self, rng):
+        """Self-attention without positions commutes with token permutation."""
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.standard_normal((1, 6, 8))
+        perm = rng.permutation(6)
+        y = attn(x)
+        y_perm = attn(x[:, perm, :])
+        np.testing.assert_allclose(y_perm, y[:, perm, :], atol=1e-12)
+
+    def test_single_token_is_value_projection(self, rng):
+        """With one token, attention weights are 1: out = proj(v)."""
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.standard_normal((1, 1, 8))
+        qkv = attn.qkv(x)
+        v = qkv[..., 16:]
+        expected = attn.proj(v)
+        np.testing.assert_allclose(attn(x), expected, atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.standard_normal((2, 4, 8))
+        dout = rng.standard_normal((2, 4, 8))
+
+        def loss():
+            return float((attn(x) * dout).sum())
+
+        attn.zero_grad()
+        attn(x)
+        dx = attn.backward(dout)
+        central_difference_check(list(attn.named_parameters()), loss, rng, 3)
+        # Input gradient at sampled coordinates.
+        eps = 1e-6
+        for _ in range(5):
+            i = tuple(int(rng.integers(s)) for s in x.shape)
+            old = x[i]
+            x[i] = old + eps
+            lp = loss()
+            x[i] = old - eps
+            lm = loss()
+            x[i] = old
+            num = (lp - lm) / (2 * eps)
+            assert dx[i] == pytest.approx(num, rel=1e-4, abs=1e-7)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            MultiHeadSelfAttention(8, 2, rng=rng).backward(
+                rng.standard_normal((1, 2, 8))
+            )
+
+
+class TestTransformerBlock:
+    def test_shapes_preserved(self, rng):
+        blk = TransformerBlock(16, 4, 32, rng=rng)
+        x = rng.standard_normal((3, 5, 16))
+        assert blk(x).shape == x.shape
+
+    def test_residual_path_dominates_small_weights(self, rng):
+        """Zeroing the output projections makes the block an identity."""
+        blk = TransformerBlock(8, 2, 16, rng=rng)
+        blk.attn.proj.weight.data[...] = 0.0
+        blk.attn.proj.bias.data[...] = 0.0
+        blk.mlp.fc2.weight.data[...] = 0.0
+        blk.mlp.fc2.bias.data[...] = 0.0
+        x = rng.standard_normal((2, 3, 8))
+        np.testing.assert_allclose(blk(x), x, atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        blk = TransformerBlock(8, 2, 16, rng=rng)
+        x = rng.standard_normal((2, 3, 8))
+        dout = rng.standard_normal((2, 3, 8))
+
+        def loss():
+            return float((blk(x) * dout).sum())
+
+        blk.zero_grad()
+        blk(x)
+        blk.backward(dout)
+        central_difference_check(list(blk.named_parameters()), loss, rng, 2)
+
+    def test_param_count_matches_formula(self, rng):
+        from repro.core.config import vit_block_params
+
+        blk = TransformerBlock(16, 4, 32, rng=rng)
+        assert blk.n_params() == vit_block_params(16, 32)

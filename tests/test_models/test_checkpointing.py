@@ -1,0 +1,97 @@
+"""Tests for activation checkpointing (recompute-in-backward)."""
+
+import numpy as np
+import pytest
+
+from repro.models.blocks import TransformerBlock
+from repro.models.mae import MaskedAutoencoder
+from repro.models.vit import VisionTransformer
+
+
+class TestBlockCheckpointing:
+    def _pair(self, rng):
+        plain = TransformerBlock(16, 4, 32, rng=np.random.default_rng(1))
+        ckpt = TransformerBlock(
+            16, 4, 32, rng=np.random.default_rng(1), checkpoint=True
+        )
+        return plain, ckpt
+
+    def test_forward_identical(self, rng):
+        plain, ckpt = self._pair(rng)
+        x = rng.standard_normal((2, 5, 16))
+        np.testing.assert_array_equal(plain(x), ckpt(x))
+
+    def test_backward_identical(self, rng):
+        plain, ckpt = self._pair(rng)
+        x = rng.standard_normal((2, 5, 16))
+        dout = rng.standard_normal((2, 5, 16))
+        plain.zero_grad()
+        plain(x)
+        dx_plain = plain.backward(dout)
+        ckpt.zero_grad()
+        ckpt(x)
+        dx_ckpt = ckpt.backward(dout)
+        np.testing.assert_array_equal(dx_plain, dx_ckpt)
+        for (_, a), (_, b) in zip(
+            plain.named_parameters(), ckpt.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.grad, b.grad)
+
+    def test_caches_dropped_after_forward(self, rng):
+        _, ckpt = self._pair(rng)
+        x = rng.standard_normal((2, 5, 16))
+        ckpt(x)
+        assert ckpt.attn._cache is None
+        assert ckpt.ln1._cache is None
+        assert ckpt.mlp.fc1._x is None
+        assert ckpt._ckpt_input is not None
+
+    def test_plain_block_keeps_caches(self, rng):
+        plain, _ = self._pair(rng)
+        plain(rng.standard_normal((2, 5, 16)))
+        assert plain.attn._cache is not None
+
+    def test_backward_before_forward(self, rng):
+        _, ckpt = self._pair(rng)
+        with pytest.raises(RuntimeError):
+            ckpt.backward(rng.standard_normal((2, 5, 16)))
+
+
+class TestModelCheckpointing:
+    def test_vit_gradients_identical(self, tiny_vit_cfg, rng):
+        a = VisionTransformer(
+            tiny_vit_cfg, n_classes=3, rng=np.random.default_rng(2)
+        )
+        b = VisionTransformer(
+            tiny_vit_cfg, n_classes=3, rng=np.random.default_rng(2),
+            checkpoint=True,
+        )
+        x = rng.standard_normal((2, 3, 16, 16))
+        dout = rng.standard_normal((2, 3))
+        a.zero_grad()
+        a(x)
+        a.backward(dout)
+        b.zero_grad()
+        b(x)
+        b.backward(dout)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.grad, pb.grad)
+
+    def test_mae_loss_and_grads_identical(self, tiny_mae_cfg, rng):
+        a = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(2))
+        b = MaskedAutoencoder(
+            tiny_mae_cfg, rng=np.random.default_rng(2), checkpoint=True
+        )
+        imgs = rng.standard_normal((2, 3, 16, 16))
+        noise = rng.random((2, 4))
+        la = a.forward(imgs, noise=noise).loss
+        lb = b.forward(imgs, noise=noise).loss
+        assert la == lb
+        a.zero_grad()
+        a.forward(imgs, noise=noise)
+        a.backward()
+        b.zero_grad()
+        b.forward(imgs, noise=noise)
+        b.backward()
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.grad, pb.grad)

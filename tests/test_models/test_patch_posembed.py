@@ -1,0 +1,111 @@
+"""Tests for patchify/unpatchify, patch embedding, and position embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.patch import PatchEmbed, patchify, unpatchify
+from repro.models.posembed import sincos_1d, sincos_2d
+
+
+class TestPatchify:
+    def test_shapes(self, rng):
+        imgs = rng.standard_normal((2, 3, 16, 16))
+        p = patchify(imgs, 8)
+        assert p.shape == (2, 4, 8 * 8 * 3)
+
+    def test_roundtrip(self, rng):
+        imgs = rng.standard_normal((3, 3, 32, 32))
+        np.testing.assert_array_equal(unpatchify(patchify(imgs, 8), 8, 3), imgs)
+
+    @given(
+        b=st.integers(1, 3),
+        c=st.integers(1, 4),
+        grid=st.integers(1, 4),
+        patch=st.sampled_from([2, 4]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, b, c, grid, patch, seed):
+        rng = np.random.default_rng(seed)
+        imgs = rng.standard_normal((b, c, grid * patch, grid * patch))
+        np.testing.assert_array_equal(
+            unpatchify(patchify(imgs, patch), patch, c), imgs
+        )
+
+    def test_patch_order_row_major(self):
+        # Image with value = row-block index * 10 + col-block index.
+        img = np.zeros((1, 1, 4, 4))
+        for r in range(2):
+            for c in range(2):
+                img[0, 0, 2 * r : 2 * r + 2, 2 * c : 2 * c + 2] = 10 * r + c
+        p = patchify(img, 2)
+        np.testing.assert_array_equal(p[0, :, 0], [0, 1, 10, 11])
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError, match="not divisible"):
+            patchify(rng.standard_normal((1, 3, 10, 10)), 3)
+
+    def test_unpatchify_validates(self, rng):
+        with pytest.raises(ValueError, match="patch dim"):
+            unpatchify(rng.standard_normal((1, 4, 5)), 2, 3)
+        with pytest.raises(ValueError, match="perfect square"):
+            unpatchify(rng.standard_normal((1, 3, 12)), 2, 3)
+
+
+class TestPatchEmbed:
+    def test_forward_shape(self, rng):
+        pe = PatchEmbed(8, 3, 16, rng=rng)
+        x = rng.standard_normal((2, 3, 16, 16))
+        assert pe(x).shape == (2, 4, 16)
+
+    def test_backward_returns_image_gradient(self, rng):
+        pe = PatchEmbed(8, 3, 16, rng=rng)
+        x = rng.standard_normal((2, 3, 16, 16))
+        y = pe(x)
+        dimgs = pe.backward(np.ones_like(y))
+        assert dimgs.shape == x.shape
+        # Linear map: gradient w.r.t. images is W summed over out dims,
+        # identical for every patch position.
+        expected_patch_grad = pe.proj.weight.data.sum(axis=1)
+        np.testing.assert_allclose(
+            patchify(dimgs, 8)[0, 0], expected_patch_grad, atol=1e-12
+        )
+
+
+class TestSinCos:
+    def test_1d_shape_and_range(self):
+        e = sincos_1d(8, np.arange(5))
+        assert e.shape == (5, 8)
+        assert np.abs(e).max() <= 1.0
+
+    def test_1d_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            sincos_1d(7, np.arange(3))
+
+    def test_2d_shape_with_cls(self):
+        e = sincos_2d(16, 4, cls_token=True)
+        assert e.shape == (17, 16)
+        np.testing.assert_array_equal(e[0], 0.0)
+
+    def test_2d_without_cls(self):
+        assert sincos_2d(16, 4, cls_token=False).shape == (16, 16)
+
+    def test_positions_distinct(self):
+        e = sincos_2d(32, 4, cls_token=False)
+        # All rows pairwise distinct (positions are distinguishable).
+        assert len(np.unique(np.round(e, 9), axis=0)) == 16
+
+    def test_translational_structure(self):
+        """Rows in the same lattice row share the height half embedding."""
+        g = 4
+        e = sincos_2d(32, g, cls_token=False)
+        assert np.allclose(e[0, :16], e[1, :16])  # same y, different x
+        assert not np.allclose(e[0, 16:], e[1, 16:])
+
+    def test_dim_must_be_multiple_of_4(self):
+        with pytest.raises(ValueError):
+            sincos_2d(18, 4)
+        with pytest.raises(ValueError):
+            sincos_2d(16, 0)

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) on model-layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MAEConfig, ViTConfig
+from repro.models.layers import LayerNorm, Linear
+from repro.models.mae import MaskedAutoencoder
+from repro.models.posembed import sincos_2d
+
+
+class TestMaskingProperties:
+    @given(
+        mask_ratio=st.floats(0.1, 0.9),
+        batch=st.integers(1, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mask_count_matches_ratio(self, mask_ratio, batch, seed):
+        enc = ViTConfig("t", 16, 1, 32, 4, patch=4, img_size=16)  # 16 patches
+        cfg = MAEConfig(
+            encoder=enc, dec_width=16, dec_depth=1, dec_heads=4,
+            mask_ratio=mask_ratio,
+        )
+        model = MaskedAutoencoder(cfg, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(seed)
+        noise = rng.random((batch, enc.n_patches))
+        _, _, _, mask = model.random_masking_indices(noise)
+        expected = round(enc.n_patches * mask_ratio)
+        np.testing.assert_array_equal(mask.sum(axis=1), expected)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_keep_and_mask_partition_patches(self, seed):
+        enc = ViTConfig("t", 16, 1, 32, 4, patch=4, img_size=16)
+        cfg = MAEConfig(
+            encoder=enc, dec_width=16, dec_depth=1, dec_heads=4, mask_ratio=0.5
+        )
+        model = MaskedAutoencoder(cfg, rng=np.random.default_rng(0))
+        noise = np.random.default_rng(seed).random((2, 16))
+        ids_keep, _, _, mask = model.random_masking_indices(noise)
+        for b in range(2):
+            kept = set(ids_keep[b].tolist())
+            masked = set(np.flatnonzero(mask[b]).tolist())
+            assert kept.isdisjoint(masked)
+            assert kept | masked == set(range(16))
+
+
+class TestLayerProperties:
+    @given(
+        scale=st.floats(0.5, 10.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_layernorm_scale_invariance(self, scale, seed):
+        """LayerNorm output is invariant to input scaling (affine off)."""
+        rng = np.random.default_rng(seed)
+        ln = LayerNorm(8)
+        x = rng.standard_normal((3, 8))
+        # Exact invariance is broken only by the eps inside the rsqrt.
+        np.testing.assert_allclose(ln(x), ln(x * scale), atol=1e-4)
+
+    @given(seed=st.integers(0, 10_000), a=st.floats(-3, 3), b=st.floats(-3, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_is_linear(self, seed, a, b):
+        rng = np.random.default_rng(seed)
+        lin = Linear(5, 3, rng=rng, bias=False)
+        x, y = rng.standard_normal((2, 4, 5))
+        np.testing.assert_allclose(
+            lin(a * x + b * y), a * lin(x) + b * lin(y), atol=1e-9
+        )
+
+    @given(dim=st.sampled_from([8, 16, 32]), grid=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_sincos_bounded(self, dim, grid):
+        e = sincos_2d(dim, grid, cls_token=False)
+        assert np.abs(e).max() <= 1.0 + 1e-12
+        assert e.shape == (grid * grid, dim)
+
+
+class TestLossProperties:
+    @staticmethod
+    def _tiny_mae() -> MAEConfig:
+        enc = ViTConfig("t", 16, 2, 32, 4, patch=8, img_size=16)
+        return MAEConfig(
+            encoder=enc, dec_width=16, dec_depth=1, dec_heads=4, mask_ratio=0.5
+        )
+
+    @given(seed=st.integers(0, 1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_mae_loss_nonnegative_finite(self, seed):
+        model = MaskedAutoencoder(self._tiny_mae(), rng=np.random.default_rng(1))
+        rng = np.random.default_rng(seed)
+        imgs = rng.standard_normal((2, 3, 16, 16))
+        out = model.forward(imgs, noise=rng.random((2, 4)))
+        assert out.loss >= 0.0
+        assert np.isfinite(out.loss)
+
+    @given(seed=st.integers(0, 1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_order_invariance(self, seed):
+        """Permuting (image, noise) pairs within the batch leaves the
+        loss unchanged (mean reduction over samples)."""
+        model = MaskedAutoencoder(self._tiny_mae(), rng=np.random.default_rng(1))
+        rng = np.random.default_rng(seed)
+        imgs = rng.standard_normal((4, 3, 16, 16))
+        noise = rng.random((4, 4))
+        perm = rng.permutation(4)
+        l1 = model.forward(imgs, noise=noise).loss
+        l2 = model.forward(imgs[perm], noise=noise[perm]).loss
+        np.testing.assert_allclose(l1, l2, atol=1e-12)

@@ -1,0 +1,158 @@
+"""Tests for the compute, memory, and IO models."""
+
+import pytest
+
+from repro.core.config import get_mae_config, get_vit_config
+from repro.core.sharding import ShardingStrategy
+from repro.hardware.gpu import GpuSpec
+from repro.perf.compute_model import (
+    BYTES_PER_PARAM,
+    block_forward_flops,
+    mae_forward_flops,
+    mae_workload_units,
+    vit_forward_flops,
+    vit_workload_units,
+)
+from repro.perf.io_model import IoModel
+from repro.perf.memory_model import activation_bytes, memory_breakdown
+from repro.utils.units import GIB
+
+
+class TestComputeModel:
+    def test_block_flops_formula(self):
+        w, m, n = 8, 16, 4
+        expected = n * (8 * w * w + 4 * w * m) + 4 * n * n * w
+        assert block_forward_flops(w, m, n) == expected
+
+    def test_vit_flops_scale_with_depth(self):
+        base = get_vit_config("vit-base")
+        huge = get_vit_config("vit-huge")
+        assert vit_forward_flops(huge) > 5 * vit_forward_flops(base)
+
+    def test_mae_encoder_sees_only_visible_tokens(self):
+        """75% masking: the MAE encoder FLOPs are far below the full ViT."""
+        cfg = get_mae_config("vit-base", img_size=224)
+        full = vit_forward_flops(cfg.encoder)
+        mae = mae_forward_flops(cfg)
+        assert mae < 0.65 * full  # decoder adds back some, still much less
+
+    def test_mae_decoder_is_small_fraction(self):
+        """The paper (after He et al.): decoder <10% of per-token FLOPs.
+
+        At 75% masking the decoder runs on 4x the tokens, so compare
+        total decoder FLOPs against the *unmasked* encoder."""
+        cfg = get_mae_config("vit-1b", img_size=224)
+        enc_only = vit_forward_flops(cfg.encoder)
+        total = mae_forward_flops(cfg)
+        enc_masked = total_enc = None
+        del enc_masked, total_enc
+        assert total < enc_only  # masking saving exceeds decoder cost
+
+    def test_units_cover_all_parameters(self):
+        gpu = GpuSpec()
+        cfg = get_vit_config("vit-base")
+        units = vit_workload_units(cfg, 32, gpu)
+        from repro.core.config import count_vit_params
+
+        assert len(units) == cfg.depth + 1
+        total = sum(u.param_bytes for u in units) / BYTES_PER_PARAM
+        # Unit accounting ignores only sub-percent odds and ends.
+        assert total == pytest.approx(count_vit_params(cfg), rel=0.01)
+
+    def test_mae_units_include_decoder(self):
+        gpu = GpuSpec()
+        cfg = get_mae_config("vit-base", img_size=224)
+        units = mae_workload_units(cfg, 32, gpu)
+        assert len(units) == 1 + cfg.encoder.depth + cfg.dec_depth
+        assert any(u.name.startswith("dec_") for u in units)
+
+    def test_fwd_seconds_positive_and_scale_with_batch(self):
+        gpu = GpuSpec()
+        cfg = get_vit_config("vit-base")
+        u32 = vit_workload_units(cfg, 32, gpu)[1]
+        u64 = vit_workload_units(cfg, 64, gpu)[1]
+        assert u64.fwd_seconds == pytest.approx(2 * u32.fwd_seconds)
+        assert u32.bwd_seconds == pytest.approx(2 * u32.fwd_seconds)
+
+    def test_local_batch_validated(self):
+        with pytest.raises(ValueError):
+            vit_workload_units(get_vit_config("vit-base"), 0, GpuSpec())
+
+
+class TestMemoryModel:
+    def test_paper_3b_noshard_over_60gb(self):
+        cfg = get_vit_config("vit-3b")
+        mb = memory_breakdown(cfg, ShardingStrategy.NO_SHARD, world_size=8)
+        assert mb.total > 55 * GIB  # paper: "more than 60 GB"
+        assert mb.total < 64 * GIB
+
+    def test_hybrid2_half_of_noshard_states(self):
+        cfg = get_vit_config("vit-3b")
+        ns = memory_breakdown(cfg, ShardingStrategy.NO_SHARD, world_size=8)
+        h2 = memory_breakdown(
+            cfg, ShardingStrategy.HYBRID_SHARD, world_size=8, shard_size=2
+        )
+        assert h2.model_states == pytest.approx(ns.model_states / 2)
+
+    def test_full_shard_drops_with_world_size(self):
+        cfg = get_vit_config("vit-3b")
+        m8 = memory_breakdown(cfg, ShardingStrategy.FULL_SHARD, world_size=8)
+        m512 = memory_breakdown(cfg, ShardingStrategy.FULL_SHARD, world_size=512)
+        assert m512.total < m8.total
+        assert m512.total < 10 * GIB  # paper: drops to ~4 GB
+
+    def test_sgo_between_full_and_noshard(self):
+        cfg = get_vit_config("vit-5b")
+        args = dict(world_size=64)
+        full = memory_breakdown(cfg, ShardingStrategy.FULL_SHARD, **args)
+        sgo = memory_breakdown(cfg, ShardingStrategy.SHARD_GRAD_OP, **args)
+        ns = memory_breakdown(cfg, ShardingStrategy.NO_SHARD, **args)
+        assert full.total < sgo.total < ns.total
+
+    def test_ddp_equals_noshard(self):
+        cfg = get_vit_config("vit-1b")
+        a = memory_breakdown(cfg, ShardingStrategy.DDP, world_size=8)
+        b = memory_breakdown(cfg, ShardingStrategy.NO_SHARD, world_size=8)
+        assert a.total == b.total
+
+    def test_activation_checkpointing_reduces(self):
+        with_ckpt = activation_bytes(768, 12, 12, 197, 32, checkpointing=True)
+        without = activation_bytes(768, 12, 12, 197, 32, checkpointing=False)
+        assert with_ckpt < without / 3
+
+    def test_mae_memory_counts_decoder(self):
+        mae = get_mae_config("vit-3b", img_size=504)
+        vit = get_vit_config("vit-3b")
+        m_mae = memory_breakdown(mae, ShardingStrategy.NO_SHARD, world_size=8)
+        m_vit = memory_breakdown(vit, ShardingStrategy.NO_SHARD, world_size=8)
+        assert m_mae.model_states > m_vit.model_states
+
+    def test_validation(self):
+        cfg = get_vit_config("vit-base")
+        with pytest.raises(ValueError):
+            memory_breakdown(cfg, ShardingStrategy.NO_SHARD, world_size=0)
+        with pytest.raises(ValueError, match="shard_size"):
+            memory_breakdown(cfg, ShardingStrategy.HYBRID_SHARD, world_size=8)
+
+
+class TestIoModel:
+    def test_linear_until_fs_cap(self):
+        io = IoModel()
+        assert io.total_ips(16) == pytest.approx(2 * io.total_ips(8))
+
+    def test_fs_cap_binds_at_extreme_scale(self):
+        io = IoModel(fs_aggregate_bw=1e9, bytes_per_image=1e6)
+        # 1 GB/s over 1 MB images = 1000 img/s total, regardless of ranks.
+        assert io.total_ips(100) == pytest.approx(1000.0)
+
+    def test_step_time(self):
+        io = IoModel(workers_per_rank=4, decode_rate_imgs_per_s=30.0)
+        assert io.step_time(120, 8) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IoModel(workers_per_rank=0)
+        with pytest.raises(ValueError):
+            IoModel().rank_ips(0)
+        with pytest.raises(ValueError):
+            IoModel().step_time(0, 4)

@@ -1,0 +1,74 @@
+"""Tests for the discrete-event (list-scheduling) engine."""
+
+import pytest
+
+from repro.perf.events import Timeline
+
+
+class TestTimeline:
+    def test_sequential_on_one_resource(self):
+        tl = Timeline()
+        tl.add("a", "compute", 1.0)
+        tl.add("b", "compute", 2.0)
+        sched = tl.run()
+        assert sched[0].start == 0.0 and sched[0].end == 1.0
+        assert sched[1].start == 1.0 and sched[1].end == 3.0
+        assert tl.makespan() == 3.0
+
+    def test_parallel_resources_overlap(self):
+        tl = Timeline()
+        tl.add("c", "compute", 3.0)
+        tl.add("k", "comm", 2.0)
+        sched = tl.run()
+        assert sched[1].start == 0.0  # comm runs concurrently
+        assert tl.makespan() == 3.0
+
+    def test_dependency_delays_start(self):
+        tl = Timeline()
+        a = tl.add("a", "compute", 2.0)
+        tl.add("b", "comm", 1.0, deps=(a,))
+        sched = tl.run()
+        assert sched[1].start == 2.0
+        assert tl.makespan() == 3.0
+
+    def test_diamond_dependencies(self):
+        tl = Timeline()
+        a = tl.add("a", "compute", 1.0)
+        b = tl.add("b", "comm", 2.0, deps=(a,))
+        c = tl.add("c", "compute", 1.0, deps=(a,))
+        tl.add("d", "compute", 1.0, deps=(b, c))
+        # d waits for b (ends at 3) even though c ends at 2.
+        sched = tl.run()
+        assert sched[3].start == 3.0
+        assert tl.makespan() == 4.0
+
+    def test_fifo_blocks_later_tasks_on_same_resource(self):
+        """A blocked task at the head of a resource queue delays
+        everything behind it (stream semantics, no reordering)."""
+        tl = Timeline()
+        a = tl.add("a", "compute", 5.0)
+        tl.add("blocked", "comm", 1.0, deps=(a,))
+        tl.add("ready", "comm", 1.0)  # behind 'blocked' in the queue
+        sched = tl.run()
+        assert sched[2].start == 6.0
+
+    def test_forward_only_deps(self):
+        tl = Timeline()
+        with pytest.raises(ValueError, match="does not exist yet"):
+            tl.add("a", "compute", 1.0, deps=(0,))
+
+    def test_negative_duration_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError, match="negative"):
+            tl.add("a", "compute", -1.0)
+
+    def test_busy_time(self):
+        tl = Timeline()
+        tl.add("a", "compute", 1.0)
+        tl.add("b", "compute", 2.0)
+        tl.add("c", "comm", 5.0)
+        assert tl.busy_time("compute") == 3.0
+        assert tl.busy_time("comm") == 5.0
+
+    def test_empty_timeline(self):
+        assert Timeline().makespan() == 0.0

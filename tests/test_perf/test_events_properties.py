@@ -1,0 +1,69 @@
+"""Property-based tests for the event engine (random task graphs)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.events import Timeline
+
+
+def _random_timeline(seed: int, n_tasks: int, n_resources: int) -> Timeline:
+    rng = np.random.default_rng(seed)
+    tl = Timeline()
+    for i in range(n_tasks):
+        deps = tuple(
+            int(d) for d in rng.choice(i, size=min(i, int(rng.integers(0, 3))),
+                                       replace=False)
+        ) if i else ()
+        tl.add(
+            f"t{i}",
+            f"r{int(rng.integers(n_resources))}",
+            float(rng.uniform(0.1, 2.0)),
+            deps,
+        )
+    return tl
+
+
+class TestScheduleProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_tasks=st.integers(1, 30),
+        n_resources=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_respects_dependencies_and_fifo(
+        self, seed, n_tasks, n_resources
+    ):
+        tl = _random_timeline(seed, n_tasks, n_resources)
+        sched = tl.run()
+        ends = [s.end for s in sched]
+        by_resource: dict[str, float] = {}
+        for s in sched:
+            # Dependencies finished before start.
+            for d in s.task.deps:
+                assert ends[d] <= s.start + 1e-12
+            # FIFO per resource: starts non-decreasing in submission order.
+            prev = by_resource.get(s.task.resource, -1.0)
+            assert s.start >= prev - 1e-12
+            by_resource[s.task.resource] = s.start
+            # Duration preserved (floating-point subtraction tolerance).
+            assert abs((s.end - s.start) - s.task.duration) < 1e-9
+
+    @given(seed=st.integers(0, 10_000), n_tasks=st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, seed, n_tasks):
+        """Makespan is at least the busiest resource and at most the
+        serial sum of all durations."""
+        tl = _random_timeline(seed, n_tasks, 3)
+        makespan = tl.makespan()
+        total = sum(t.duration for t in tl.tasks)
+        busiest = max(
+            tl.busy_time(r) for r in {t.resource for t in tl.tasks}
+        )
+        assert busiest - 1e-9 <= makespan <= total + 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_single_resource_serializes(self, seed):
+        tl = _random_timeline(seed, 12, 1)
+        assert tl.makespan() == sum(t.duration for t in tl.tasks)

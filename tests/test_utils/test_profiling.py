@@ -1,0 +1,55 @@
+"""Tests for the profiling helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.profiling import SectionProfiler, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 0.5
+
+
+class TestSectionProfiler:
+    def test_accumulates_per_section(self):
+        prof = SectionProfiler()
+        for _ in range(3):
+            with prof.section("a"):
+                time.sleep(0.002)
+        with prof.section("b"):
+            time.sleep(0.002)
+        assert prof.calls == {"a": 3, "b": 1}
+        assert prof.seconds["a"] > prof.seconds["b"]
+        assert prof.total == pytest.approx(
+            prof.seconds["a"] + prof.seconds["b"]
+        )
+
+    def test_fractions_sum_to_one(self):
+        prof = SectionProfiler()
+        with prof.section("x"):
+            time.sleep(0.002)
+        with prof.section("y"):
+            time.sleep(0.002)
+        assert sum(prof.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert SectionProfiler().fractions() == {}
+
+    def test_exception_still_recorded(self):
+        prof = SectionProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.section("boom"):
+                raise RuntimeError
+        assert prof.calls["boom"] == 1
+
+    def test_report_and_reset(self):
+        prof = SectionProfiler()
+        with prof.section("work"):
+            pass
+        assert "work" in prof.report()
+        prof.reset()
+        assert prof.total == 0.0
