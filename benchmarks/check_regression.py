@@ -1,0 +1,126 @@
+"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py      # fresh run
+    python benchmarks/check_regression.py                  # diff vs baseline
+    python benchmarks/check_regression.py --update         # bless current run
+
+Exits nonzero when any proxy model's measured images/second fell more
+than ``--threshold`` (default 15%) below the baseline, so CI can gate
+merges on substrate throughput. Improvements are reported but never
+fail; bless them into the baseline with ``--update`` to tighten the bar.
+
+Absolute throughput is machine-dependent: the committed baseline is only
+meaningful when fresh run and baseline come from the same machine class.
+The attention fused-vs-naive speedup is machine-*relative* and is checked
+against the bench's own gate (1.3x), not the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FRESH = HERE / "BENCH_hotpath.json"
+BASELINE = HERE / "BENCH_hotpath.baseline.json"
+DEFAULT_THRESHOLD = 0.15
+
+
+def compare(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Return a list of regression messages (empty = pass)."""
+    problems: list[str] = []
+    base_steps = baseline.get("steps", {})
+    fresh_steps = fresh.get("steps", {})
+    for name, base in base_steps.items():
+        if name not in fresh_steps:
+            problems.append(f"{name}: missing from fresh run")
+            continue
+        got = fresh_steps[name]["images_per_sec"]
+        want = base["images_per_sec"]
+        change = (got - want) / want
+        if change < -threshold:
+            problems.append(
+                f"{name}: {got:.1f} images/s vs baseline {want:.1f} "
+                f"({change:+.1%}, allowed -{threshold:.0%})"
+            )
+    gate = fresh.get("gate", {})
+    if gate.get("attention_speedup_median", 0.0) < gate.get("threshold", 0.0):
+        problems.append(
+            f"attention speedup {gate['attention_speedup_median']:.2f}x "
+            f"below its own {gate['threshold']}x gate"
+        )
+    return problems
+
+
+def render(fresh: dict, baseline: dict) -> str:
+    """Side-by-side throughput table."""
+    lines = [f"{'model':<12} {'baseline':>10} {'fresh':>10} {'change':>8}"]
+    for name, base in baseline.get("steps", {}).items():
+        got = fresh.get("steps", {}).get(name)
+        if got is None:
+            lines.append(f"{name:<12} {base['images_per_sec']:>10.1f} {'—':>10}")
+            continue
+        change = got["images_per_sec"] / base["images_per_sec"] - 1.0
+        lines.append(
+            f"{name:<12} {base['images_per_sec']:>10.1f} "
+            f"{got['images_per_sec']:>10.1f} {change:>+7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, default=FRESH, help="fresh bench artifact"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE, help="committed baseline"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional throughput drop (default 0.15)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh artifact over the baseline and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"no fresh artifact at {args.fresh}; run bench_hotpath.py first")
+        return 2
+    fresh = json.loads(args.fresh.read_text())
+
+    if args.update:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated from {args.fresh}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update to create it")
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    print(render(fresh, baseline))
+    problems = compare(fresh, baseline, threshold=args.threshold)
+    if problems:
+        print("\nREGRESSION:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nno throughput regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

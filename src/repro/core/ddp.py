@@ -78,10 +78,18 @@ class DDPEngine:
         losses = []
         # rank_grads[r][i]: rank r's gradient of parameter i.
         rank_grads: list[list[np.ndarray]] = []
-        for r in range(self.world.size):
-            self.model.zero_grad()
-            losses.append(float(step_fn(self.model, micros[r])))
-            rank_grads.append([p.grad.copy() for p in self.params])
+        try:
+            for r in range(self.world.size):
+                self.model.zero_grad()
+                losses.append(float(step_fn(self.model, micros[r])))
+                rank_grads.append([p.grad.copy() for p in self.params])
+        except Exception:
+            # A step_fn that raises mid-chain (e.g. backward on a bad
+            # gradient shape) would otherwise leave every module holding
+            # its activation cache — a whole model's worth of arrays
+            # pinned until the next successful step.
+            self.model.release_caches()
+            raise
 
         group = self.world.world_group()
         for bucket in self.buckets:

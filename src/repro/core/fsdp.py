@@ -243,11 +243,17 @@ class FSDPEngine:
         # Per-rank forward/backward.
         losses = []
         rank_grads: list[list[np.ndarray]] = []
-        for r in range(self.world.size):
-            for u in self.units:
-                u.zero_grad()
-            losses.append(float(step_fn(self.model, micros[r])))
-            rank_grads.append([u.read_grad() for u in self.units])
+        try:
+            for r in range(self.world.size):
+                for u in self.units:
+                    u.zero_grad()
+                losses.append(float(step_fn(self.model, micros[r])))
+                rank_grads.append([u.read_grad() for u in self.units])
+        except Exception:
+            # Don't pin a model's worth of activations when a microbatch
+            # fails mid-step (same cleanup contract as DDPEngine).
+            self.model.release_caches()
+            raise
 
         # FULL_SHARD re-gathers parameters during backward.
         if self.strategy is ShardingStrategy.FULL_SHARD:

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.ddp import DDPEngine
 from repro.core.fsdp import FSDPEngine
 from repro.models.mae import MaskedAutoencoder
+from repro.models.workspace import Workspace
 from repro.optim.schedules import CosineWithWarmup
 
 __all__ = ["MAEPretrainer", "TrainResult"]
@@ -77,6 +78,11 @@ class MAEPretrainer:
     seed:
         Controls shuffling and masking noise only (weights were seeded at
         model construction).
+    workspace:
+        Attach a :class:`~repro.models.workspace.Workspace` to the model
+        so steady-state steps reuse scratch buffers instead of
+        allocating (on by default; numerics are unchanged). Skipped when
+        the model already has one attached.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class MAEPretrainer:
         global_batch: int,
         schedule: Callable[[int], float] | None = None,
         seed: int = 0,
+        workspace: bool = True,
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
@@ -106,6 +113,8 @@ class MAEPretrainer:
         self.schedule = schedule
         self.seed = seed
         self.steps_per_epoch = len(images) // global_batch
+        if workspace and engine.model.workspace is None:
+            engine.model.use_workspace(Workspace())
 
     def _epoch_order(self, epoch: int) -> np.ndarray:
         rng = np.random.Generator(

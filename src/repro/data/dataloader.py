@@ -28,9 +28,12 @@ class DataLoader:
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        if batch_size > len(dataset):
+        if drop_last and batch_size > len(dataset):
+            # With drop_last the loader would yield nothing at all. Without
+            # it, torch semantics apply: one short batch of the whole set.
             raise ValueError(
-                f"batch_size {batch_size} exceeds dataset size {len(dataset)}"
+                f"batch_size {batch_size} exceeds dataset size {len(dataset)} "
+                "and drop_last=True would yield no batches"
             )
         self.dataset = dataset
         self.batch_size = batch_size

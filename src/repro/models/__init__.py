@@ -10,8 +10,12 @@ per transformer block without copies.
 Modules:
 
 - :mod:`repro.models.module` — Parameter / Module base machinery.
-- :mod:`repro.models.functional` — gelu / softmax / layernorm primitives
-  with paired backward functions.
+- :mod:`repro.models.workspace` — scratch-buffer pool for allocation-free
+  steady-state training steps (see :meth:`Module.use_workspace`).
+- :mod:`repro.models.functional` — fused gelu / softmax / layernorm
+  primitives with paired backward functions (``out=``-aware).
+- :mod:`repro.models.reference` — the original allocating kernels, kept
+  verbatim as the numerical oracle and benchmark baseline.
 - :mod:`repro.models.layers` — Linear, LayerNorm, GELU, Dropout, MLP.
 - :mod:`repro.models.attention` — multi-head self-attention.
 - :mod:`repro.models.blocks` — pre-norm transformer encoder block.
@@ -30,10 +34,12 @@ from repro.models.module import Module, Parameter
 from repro.models.patch import PatchEmbed, patchify, unpatchify
 from repro.models.simclr import SimCLRModel, nt_xent
 from repro.models.vit import VisionTransformer
+from repro.models.workspace import Workspace
 
 __all__ = [
     "Parameter",
     "Module",
+    "Workspace",
     "Linear",
     "LayerNorm",
     "GELU",

@@ -4,6 +4,15 @@ Each layer's ``forward`` caches exactly what its hand-derived ``backward``
 needs; ``backward`` accumulates parameter gradients and returns the input
 gradient. Batch (leading) dimensions are arbitrary: every layer operates
 on the trailing feature axis.
+
+Hot-path discipline: all large results are produced with ``out=`` into
+buffers from :meth:`Module._buf`, so attaching a
+:class:`~repro.models.workspace.Workspace` (see
+:meth:`Module.use_workspace`) makes the steady-state step allocation-free.
+Matmuls flatten leading axes first: one ``(B·N, in) @ (in, out)`` GEMM is
+substantially faster than a stacked batch of ``(N, in)`` GEMMs. The
+original allocating implementations survive as the oracle in
+:mod:`repro.models.reference`.
 """
 
 from __future__ import annotations
@@ -43,37 +52,52 @@ class Linear(Module):
         self.has_bias = bias
         if bias:
             self.bias = Parameter(init.zeros(out_features, dtype=dtype))
-        self._x: np.ndarray | None = None
+        self._x2: np.ndarray | None = None
+        self._lead: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """``x @ W + b`` on the trailing axis; caches ``x``."""
+        """``x @ W + b`` on the trailing axis; caches the flattened input."""
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"expected trailing dim {self.in_features}, got {x.shape}"
             )
-        self._x = x
-        y = x @ self.weight.data
+        # One big GEMM over the flattened leading axes. reshape copies
+        # only when x is a non-contiguous view (and backward reuses the
+        # cached 2-D array either way).
+        x2 = x.reshape(-1, self.in_features)
+        self._x2 = x2
+        self._lead = x.shape[:-1]
+        res_dtype = np.result_type(x.dtype, self.weight.data.dtype)
+        y = self._buf("y", x.shape[:-1] + (self.out_features,), res_dtype)
+        np.matmul(x2, self.weight.data, out=y.reshape(-1, self.out_features))
         if self.has_bias:
             y += self.bias.data
         return y
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         """Accumulate dW/db; return ``dout @ W.T``."""
-        if self._x is None:
+        if self._x2 is None:
             raise RuntimeError("backward called before forward")
-        x = self._x
-        # Flatten leading dims to one batch axis for the weight gradient.
-        x2 = x.reshape(-1, self.in_features)
+        x2 = self._x2
         d2 = dout.reshape(-1, self.out_features)
-        self.weight.accumulate(x2.T @ d2)
+        gw = self._buf("gw", self.weight.shape, self.weight.dtype)
+        np.matmul(x2.T, d2, out=gw)
+        self.weight.accumulate(gw)
         if self.has_bias:
-            self.bias.accumulate(d2.sum(axis=0))
-        dx = dout @ self.weight.data.T
-        self._x = None
+            gb = self._buf("gb", self.bias.shape, self.bias.dtype)
+            d2.sum(axis=0, out=gb)
+            self.bias.accumulate(gb)
+        dx = self._buf(
+            "dx", self._lead + (self.in_features,), np.result_type(d2, x2)
+        )
+        np.matmul(d2, self.weight.data.T, out=dx.reshape(-1, self.in_features))
+        self._x2 = None
+        self._lead = None
         return dx
 
     def _clear_cache(self) -> None:
-        self._x = None
+        self._x2 = None
+        self._lead = None
 
 
 class LayerNorm(Module):
@@ -91,14 +115,23 @@ class LayerNorm(Module):
         """Normalize the trailing axis and apply the affine."""
         if x.shape[-1] != self.dim:
             raise ValueError(f"expected trailing dim {self.dim}, got {x.shape}")
-        y, self._cache = F.layernorm(x, self.gamma.data, self.beta.data, self.eps)
+        res_dtype = np.result_type(x.dtype, self.gamma.data.dtype)
+        y = self._buf("y", x.shape, res_dtype)
+        xhat = self._buf("xhat", x.shape, res_dtype)
+        y, self._cache = F.layernorm(
+            x, self.gamma.data, self.beta.data, self.eps, out=y, xhat_out=xhat
+        )
         return y
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         """LayerNorm backward; accumulates dgamma/dbeta."""
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        dx, dgamma, dbeta = F.layernorm_backward(dout, self.gamma.data, self._cache)
+        dx = self._buf("dx", dout.shape, dout.dtype)
+        scratch = self._buf("dxhat", dout.shape, dout.dtype)
+        dx, dgamma, dbeta = F.layernorm_backward(
+            dout, self.gamma.data, self._cache, out=dx, scratch=scratch
+        )
         self.gamma.accumulate(dgamma)
         self.beta.accumulate(dbeta)
         self._cache = None
@@ -117,7 +150,9 @@ class GELU(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Tanh-GELU; caches input and inner tanh."""
-        y, t = F.gelu(x)
+        y = self._buf("y", x.shape, x.dtype)
+        t = self._buf("t", x.shape, x.dtype)
+        y, t = F.gelu(x, out=y, t_out=t)
         self._cache = (x, t)
         return y
 
@@ -127,7 +162,9 @@ class GELU(Module):
             raise RuntimeError("backward called before forward")
         x, t = self._cache
         self._cache = None
-        return F.gelu_backward(dout, x, t)
+        dx = self._buf("dx", x.shape, x.dtype)
+        scratch = self._buf("scratch", x.shape, x.dtype)
+        return F.gelu_backward(dout, x, t, out=dx, scratch=scratch)
 
     def _clear_cache(self) -> None:
         self._cache = None

@@ -222,6 +222,9 @@ class MaskedAutoencoder(Module):
         dpatches = self.patch_proj.backward(dtok)
         return unpatchify(dpatches, enc.patch, enc.in_chans)
 
+    def _clear_cache(self) -> None:
+        self._cache = None
+
     # -- feature extraction (for linear probing) ----------------------------
 
     def encode_features(self, imgs: np.ndarray) -> np.ndarray:
@@ -241,7 +244,9 @@ class MaskedAutoencoder(Module):
         for blk in self.enc_blocks:
             x = blk(x)
         x = self.enc_norm(x)
-        return x[:, 0, :]
+        # Copy: with a workspace attached, x is a pooled buffer that the
+        # next forward overwrites, and feature extraction batches calls.
+        return x[:, 0, :].copy()
 
     def encode_patch_tokens(self, imgs: np.ndarray) -> np.ndarray:
         """Per-patch features from the unmasked encoder: ``(B, N, W)``.
@@ -260,4 +265,5 @@ class MaskedAutoencoder(Module):
         for blk in self.enc_blocks:
             x = blk(x)
         x = self.enc_norm(x)
-        return x[:, 1:, :]
+        # Copy for the same buffer-reuse reason as encode_features.
+        return x[:, 1:, :].copy()

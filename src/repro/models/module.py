@@ -78,6 +78,7 @@ class Module:
         object.__setattr__(self, "_params", {})
         object.__setattr__(self, "_modules", {})
         object.__setattr__(self, "training", True)
+        object.__setattr__(self, "_workspace", None)
 
     def __setattr__(self, name: str, value) -> None:
         if isinstance(value, Parameter):
@@ -149,6 +150,36 @@ class Module:
                     f"shape mismatch for {name}: {src.shape} vs {p.data.shape}"
                 )
             p.data[...] = src
+
+    # -- scratch buffers -----------------------------------------------------
+
+    def use_workspace(self, ws) -> "Module":
+        """Attach (or detach, with ``None``) a scratch-buffer pool.
+
+        Propagates recursively so every layer in the tree routes its
+        hot-path temporaries through the same
+        :class:`~repro.models.workspace.Workspace`. Returns self.
+        """
+        for m in self.modules():
+            object.__setattr__(m, "_workspace", ws)
+        return self
+
+    @property
+    def workspace(self):
+        """The attached :class:`Workspace`, or ``None``."""
+        return self._workspace
+
+    def _buf(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialized scratch buffer owned by this module.
+
+        Pool-backed (and therefore reused across steps) when a workspace
+        is attached; a fresh ``np.empty`` otherwise. Contents must be
+        fully overwritten before being read.
+        """
+        ws = self._workspace
+        if ws is None:
+            return np.empty(shape, dtype=dtype)
+        return ws.request((id(self), tag), shape, np.dtype(dtype))
 
     # -- activation caches ---------------------------------------------------
 

@@ -1,0 +1,113 @@
+"""Naive reference kernels: the numerical oracle for the fused hot path.
+
+These are the substrate's original (pre-optimization) implementations,
+kept verbatim. They allocate freely, never write in place, and follow
+the textbook formulas — which makes them slow, obviously correct, and
+the ideal oracle: the equivalence gate in
+``tests/test_models/test_hotpath_equivalence.py`` asserts that the fused
+kernels in :mod:`repro.models.functional` / :mod:`repro.models.layers` /
+:mod:`repro.models.attention` match these bit-for-bit-ish (atol=1e-6,
+observed ~1e-15), so an optimization can never silently change training
+math. ``benchmarks/bench_hotpath.py`` also times them as the "naive"
+baseline of its speedup gate.
+
+Do not optimize this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gelu",
+    "gelu_backward",
+    "softmax",
+    "softmax_backward",
+    "layernorm",
+    "layernorm_backward",
+    "linear_forward",
+    "linear_backward",
+]
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+_GELU_C = 0.044715
+
+
+def gelu(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Tanh-approximated GELU. Returns ``(y, tanh_cache)``."""
+    inner = _SQRT_2_OVER_PI * (x + _GELU_C * x**3)
+    t = np.tanh(inner)
+    y = 0.5 * x * (1.0 + t)
+    return y, t
+
+
+def gelu_backward(dout: np.ndarray, x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """d/dx of tanh-GELU given the cached tanh value ``t``."""
+    du = _SQRT_2_OVER_PI * (1.0 + 3.0 * _GELU_C * x * x)
+    return dout * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(dout: np.ndarray, y: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward of softmax given its output ``y``."""
+    return y * (dout - (dout * y).sum(axis=axis, keepdims=True))
+
+
+def layernorm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-6
+) -> tuple[np.ndarray, tuple]:
+    """LayerNorm over the last axis. Returns ``(y, cache)``."""
+    mu = x.mean(axis=-1, keepdims=True)
+    xc = x - mu
+    var = (xc * xc).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = xc * inv_std
+    y = xhat * gamma + beta
+    return y, (xhat, inv_std)
+
+
+def layernorm_backward(
+    dout: np.ndarray, gamma: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward of layernorm. Returns ``(dx, dgamma, dbeta)``."""
+    xhat, inv_std = cache
+    reduce_axes = tuple(range(dout.ndim - 1))
+    dgamma = (dout * xhat).sum(axis=reduce_axes)
+    dbeta = dout.sum(axis=reduce_axes)
+    dxhat = dout * gamma
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx, dgamma, dbeta
+
+
+def linear_forward(
+    weight: np.ndarray, bias: np.ndarray | None, x: np.ndarray
+) -> np.ndarray:
+    """``x @ W (+ b)`` exactly as the original Linear computed it
+    (stacked batched matmul, fresh output)."""
+    y = x @ weight
+    if bias is not None:
+        y = y + bias
+    return y
+
+
+def linear_backward(
+    weight: np.ndarray, x: np.ndarray, dout: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Returns ``(dx, dweight, dbias)`` for the reference linear."""
+    in_features, out_features = weight.shape
+    x2 = x.reshape(-1, in_features)
+    d2 = dout.reshape(-1, out_features)
+    dweight = x2.T @ d2
+    dbias = d2.sum(axis=0)
+    dx = dout @ weight.T
+    return dx, dweight, dbias

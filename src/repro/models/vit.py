@@ -90,7 +90,9 @@ class VisionTransformer(Module):
         for blk in self.blocks:
             x = blk(x)
         x = self.norm(x)
-        return x[:, 0, :]
+        # Copy: with a workspace attached, x is a pooled buffer that the
+        # next forward overwrites; callers batch feature extraction.
+        return x[:, 0, :].copy()
 
     def forward(self, imgs: np.ndarray) -> np.ndarray:
         """Logits when a head exists, else class-token features."""

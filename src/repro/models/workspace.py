@@ -1,0 +1,87 @@
+"""Scratch-buffer pool for the steady-state training hot path.
+
+A :class:`Workspace` hands out reusable ndarray buffers keyed by
+``(owner, tag)``. The first request for a key allocates; subsequent
+requests with the same shape/dtype return the *same* array, so a
+training loop that runs the same model step after step stops allocating
+its large temporaries (qkv projections, attention matrices, layer
+outputs) after the first step — the CPU-substrate analogue of the
+memory discipline the paper applies on Frontier.
+
+Safety contract (why reuse is sound here):
+
+- every layer instance appears at most once per forward/backward chain,
+  so a buffer written in step *t* is only rewritten in step *t + 1*,
+  after the backward pass that consumed it has finished;
+- activation caches may hold workspace buffers across forward→backward
+  because the owning module is the only writer of its buffers;
+- a checkpointed block's recompute refills the same buffers with the
+  same values before its backward reads them.
+
+Buffers are returned **uninitialized** (``np.empty`` semantics): callers
+must fully overwrite them (``out=`` kernels) before reading.
+
+Attach a pool with :meth:`repro.models.module.Module.use_workspace`;
+detach by passing ``None``. With no pool attached every request falls
+back to a fresh ``np.empty``, i.e. allocation behavior — and numerics —
+are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Keyed pool of reusable scratch buffers."""
+
+    __slots__ = ("_bufs", "hits", "misses")
+
+    def __init__(self):
+        self._bufs: dict[Hashable, np.ndarray] = {}
+        #: Requests served by an existing buffer (steady state: all).
+        self.hits = 0
+        #: Requests that had to (re)allocate (first step / shape change).
+        self.misses = 0
+
+    def request(
+        self, key: Hashable, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """Return an uninitialized buffer for ``key``, reusing when possible.
+
+        A shape or dtype change (e.g. the trailing short batch of an
+        epoch) transparently reallocates that one buffer.
+        """
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    def n_buffers(self) -> int:
+        """Number of live buffers in the pool."""
+        return len(self._bufs)
+
+    def nbytes(self) -> int:
+        """Total bytes held by the pool."""
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (and reset the hit/miss counters)."""
+        self._bufs.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Workspace({self.n_buffers()} buffers, "
+            f"{self.nbytes() / 1e6:.2f} MB, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -15,15 +15,33 @@ power/utilization traces.
   strategy + prefetch policy.
 - :mod:`repro.perf.simulator` — end-to-end step timing and reports.
 - :mod:`repro.perf.tracing` — Chrome-trace export of simulated steps.
+- :mod:`repro.perf.hotpath` — *measured* (not modeled) wall-clock
+  microbenchmarks of the NumPy substrate itself.
 """
 
 from repro.perf.compute_model import UnitCost, mae_workload_units, vit_workload_units
 from repro.perf.events import Task, Timeline
+from repro.perf.hotpath import (
+    KernelTiming,
+    PairTiming,
+    StepTiming,
+    rss_peak_mb,
+    time_kernel,
+    time_pair,
+    time_train_step,
+)
 from repro.perf.io_model import IoModel
 from repro.perf.memory_model import MemoryBreakdown, memory_breakdown
 from repro.perf.simulator import PerfParams, StepBreakdown, TrainStepSimulator
 
 __all__ = [
+    "KernelTiming",
+    "PairTiming",
+    "StepTiming",
+    "rss_peak_mb",
+    "time_kernel",
+    "time_pair",
+    "time_train_step",
     "Task",
     "Timeline",
     "UnitCost",

@@ -182,3 +182,30 @@ class TestEngineBehaviour:
         trainer = MAEPretrainer(engine, _images(), global_batch=8, seed=1)
         trainer.run(3)
         assert engine.step_count == 3
+
+    @pytest.mark.parametrize("kind", ["ddp", "fsdp"])
+    def test_failed_step_releases_activation_caches(self, kind):
+        """A step_fn raising mid-chain must not leave activations pinned."""
+        model = MaskedAutoencoder(CFG, rng=np.random.default_rng(0))
+        world = World(2)
+        if kind == "fsdp":
+            engine = FSDPEngine(model, world, ShardingStrategy.NO_SHARD)
+        else:
+            engine = DDPEngine(model, world)
+        imgs = _images(8)
+
+        def exploding_step(m, micro):
+            m.forward(micro)  # fills every module's cache...
+            raise RuntimeError("boom")  # ...then dies before backward
+
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.train_step([imgs[:4], imgs[4:]], exploding_step)
+        for mod in model.modules():
+            cache = getattr(mod, "_cache", None)
+            assert cache is None, type(mod).__name__
+            assert getattr(mod, "_x2", None) is None, type(mod).__name__
+
+        # The engine stays usable after the failure.
+        trainer = MAEPretrainer(engine, _images(), global_batch=8, seed=1)
+        losses = trainer.run(1).losses
+        assert np.isfinite(losses).all()

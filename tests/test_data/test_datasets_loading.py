@@ -109,7 +109,20 @@ class TestDataLoader:
         with pytest.raises(ValueError):
             DataLoader(self._dataset(rng), batch_size=0)
         with pytest.raises(ValueError, match="exceeds"):
-            DataLoader(self._dataset(rng, n=4), batch_size=8)
+            DataLoader(self._dataset(rng, n=4), batch_size=8, drop_last=True)
+
+    def test_oversized_batch_yields_single_short_batch(self, rng):
+        # torch semantics: batch_size > len(dataset) is fine without
+        # drop_last — one short batch containing the whole dataset.
+        ds = self._dataset(rng, n=4)
+        dl = DataLoader(ds, batch_size=8, shuffle=False)
+        assert len(dl) == 1
+        batches = list(dl)
+        assert len(batches) == 1
+        assert batches[0][0].shape == (4, 3, 4, 4)
+        np.testing.assert_array_equal(
+            np.sort(batches[0][1]), np.sort(ds.labels)
+        )
 
 
 class TestDistributedSampler:

@@ -43,7 +43,7 @@ class TestBlockCheckpointing:
         ckpt(x)
         assert ckpt.attn._cache is None
         assert ckpt.ln1._cache is None
-        assert ckpt.mlp.fc1._x is None
+        assert ckpt.mlp.fc1._x2 is None
         assert ckpt._ckpt_input is not None
 
     def test_plain_block_keeps_caches(self, rng):
