@@ -12,11 +12,21 @@ This package plays the role MPI/RCCL plays under PyTorch distributed:
   collectives on a hierarchical machine topology; used by the
   performance simulator.
 - :mod:`repro.comm.bucketing` — DDP-style gradient bucketing.
+- :mod:`repro.comm.faults` — deterministic fault injection (dropped /
+  corrupted buffers, transient collective failures, stragglers) and the
+  retry-with-backoff policy the engines use to survive them.
 """
 
 from repro.comm.bucketing import Bucket, bucket_gradients
 from repro.comm.collectives import CommStats, SimComm
 from repro.comm.cost_model import CollectiveCostModel, GroupPlacement
+from repro.comm.faults import (
+    CollectiveError,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.comm.world import Group, World, make_hybrid_mesh
 
 __all__ = [
@@ -29,4 +39,9 @@ __all__ = [
     "GroupPlacement",
     "Bucket",
     "bucket_gradients",
+    "FaultSpec",
+    "FaultPlan",
+    "CollectiveError",
+    "RetryPolicy",
+    "call_with_retry",
 ]

@@ -35,6 +35,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.comm.faults import (
+    CollectiveError,
+    FaultPlan,
+    buffer_crc,
+    corrupt_copy,
+)
 from repro.comm.world import Group
 
 __all__ = ["SimComm", "CommStats", "ReduceOp"]
@@ -49,11 +55,25 @@ class CommStats:
 
     ``bytes_by_op[op]`` accumulates bytes sent summed over all
     participating ranks; ``calls_by_op[op]`` counts collective invocations
-    (one per group call, not per rank).
+    (one per group call, not per rank). Failed (fault-injected) attempts
+    are recorded too — wire traffic is spent before a failure is
+    detected — so retried collectives show up as extra calls and bytes
+    relative to a fault-free run.
+
+    Resilience accounting: ``retries_by_op`` counts engine-level retries,
+    ``backoff_seconds`` accumulates the simulated retry backoff, and
+    ``straggler_seconds_by_rank`` the injected per-rank straggler delay
+    (both are simulated-time charges for the performance layer, never
+    real sleeps).
     """
 
     calls_by_op: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_op: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    retries_by_op: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    backoff_seconds: float = 0.0
+    straggler_seconds_by_rank: dict[int, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
 
     def record(self, op: str, group_size: int, full_bytes: float) -> None:
         """Account one collective call of ``full_bytes`` over ``group_size`` ranks."""
@@ -70,6 +90,15 @@ class CommStats:
         else:
             raise ValueError(f"unknown collective op {op!r}")
 
+    def record_retry(self, op: str, backoff_s: float) -> None:
+        """Account one engine-level retry of ``op`` and its backoff."""
+        self.retries_by_op[op] += 1
+        self.backoff_seconds += backoff_s
+
+    def record_straggler(self, rank: int, seconds: float) -> None:
+        """Charge an injected straggler delay to ``rank``."""
+        self.straggler_seconds_by_rank[rank] += seconds
+
     @property
     def total_calls(self) -> int:
         """Collective calls across all operation types."""
@@ -80,10 +109,23 @@ class CommStats:
         """Wire bytes across all operation types."""
         return sum(self.bytes_by_op.values())
 
+    @property
+    def total_retries(self) -> int:
+        """Engine-level retries across all operation types."""
+        return sum(self.retries_by_op.values())
+
+    @property
+    def straggler_seconds(self) -> float:
+        """Total injected straggler delay across ranks."""
+        return sum(self.straggler_seconds_by_rank.values())
+
     def reset(self) -> None:
         """Clear all counters."""
         self.calls_by_op.clear()
         self.bytes_by_op.clear()
+        self.retries_by_op.clear()
+        self.backoff_seconds = 0.0
+        self.straggler_seconds_by_rank.clear()
 
 
 def _reduce(stack: np.ndarray, op: str) -> np.ndarray:
@@ -112,13 +154,58 @@ class SimComm:
         vectorized forms. Results are identical (up to float associativity
         in reductions, which tests bound); ring mode is slower and meant
         for validation.
+    fault_plan:
+        Optional :class:`~repro.comm.faults.FaultPlan` consulted on every
+        collective call. Injected failures surface as
+        :class:`~repro.comm.faults.CollectiveError` *before* any output
+        is produced (the attempt's wire traffic is still recorded), so a
+        retry re-runs a pure function of unchanged inputs and is
+        bit-identical to an unfaulted call. May be (re)assigned between
+        steps.
     """
 
-    def __init__(self, use_ring: bool = False):
+    def __init__(self, use_ring: bool = False, fault_plan: FaultPlan | None = None):
         self.stats = CommStats()
         self.use_ring = use_ring
+        self.fault_plan = fault_plan
 
     # -- helpers ---------------------------------------------------------
+
+    def _inject_faults(self, op: str, group: Group, buffers: list[np.ndarray]) -> None:
+        """Consult the fault plan; raise CollectiveError for failing specs.
+
+        Called after stats recording: a failed attempt has already moved
+        (some of) its data, so its traffic stays on the books.
+        """
+        if self.fault_plan is None:
+            return
+        for spec in self.fault_plan.consult(op, group.size):
+            if spec.kind == "straggler":
+                victim = group.ranks[spec.rank % group.size]
+                self.stats.record_straggler(victim, spec.delay_s)
+                continue
+            if spec.kind == "transient":
+                raise CollectiveError(
+                    op, "transient", group.ranks, message="injected transient failure"
+                )
+            local = spec.rank % group.size
+            victim = group.ranks[local]
+            sent = buffers[local]
+            sent_crc = buffer_crc(sent)
+            if spec.kind == "drop":
+                received = None
+            else:  # corrupt: bit-flip an in-flight copy, never the input
+                received = corrupt_copy(sent, self.fault_plan.rng)
+            if received is None:
+                raise CollectiveError(
+                    op, "drop", group.ranks, rank=victim,
+                    message="peer buffer lost in flight",
+                )
+            if buffer_crc(received) != sent_crc:
+                raise CollectiveError(
+                    op, "corrupt", group.ranks, rank=victim,
+                    message="checksum mismatch on received buffer",
+                )
 
     @staticmethod
     def _check(buffers: list[np.ndarray], group: Group, same_shape: bool = True) -> None:
@@ -140,6 +227,7 @@ class SimComm:
         """Reduce across the group; every rank receives the full result."""
         self._check(buffers, group)
         self.stats.record("all_reduce", group.size, buffers[0].nbytes)
+        self._inject_faults("all_reduce", group, buffers)
         if self.use_ring and group.size > 1 and buffers[0].size >= group.size:
             shards = self._ring_reduce_scatter(buffers, op)
             gathered = self._ring_all_gather(shards)
@@ -156,6 +244,7 @@ class SimComm:
                 raise ValueError("all_gather operates on 1-D shards")
         full_bytes = sum(s.nbytes for s in shards)
         self.stats.record("all_gather", group.size, full_bytes)
+        self._inject_faults("all_gather", group, shards)
         if self.use_ring and group.size > 1:
             shapes = {s.shape for s in shards}
             if len(shapes) == 1:
@@ -179,6 +268,7 @@ class SimComm:
         if n % g != 0:
             raise ValueError(f"buffer length {n} not divisible by group size {g}")
         self.stats.record("reduce_scatter", g, buffers[0].nbytes)
+        self._inject_faults("reduce_scatter", group, buffers)
         if self.use_ring and g > 1:
             return self._ring_reduce_scatter(buffers, op)
         reduced = _reduce(np.stack(buffers), op)
@@ -193,6 +283,7 @@ class SimComm:
         if not 0 <= root_index < group.size:
             raise ValueError(f"root_index {root_index} out of range")
         self.stats.record("broadcast", group.size, buffers[root_index].nbytes)
+        self._inject_faults("broadcast", group, buffers)
         src = buffers[root_index]
         return [src.copy() for _ in range(group.size)]
 

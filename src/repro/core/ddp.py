@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.comm.bucketing import DEFAULT_BUCKET_CAP_BYTES, bucket_gradients
 from repro.comm.collectives import SimComm
+from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World
 from repro.models.module import Module
 from repro.optim.adamw import AdamW
@@ -39,10 +40,12 @@ class DDPEngine:
         comm: SimComm | None = None,
         bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES,
         first_bucket_cap_bytes: int | None = 1024 * 1024,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
     ):
         self.model = model
         self.world = world
         self.comm = comm if comm is not None else SimComm()
+        self.retry_policy = retry_policy
         self.params = model.parameters()
         self.buckets = bucket_gradients(
             [p.grad.nbytes for p in self.params],
@@ -68,6 +71,28 @@ class DDPEngine:
         """Number of gradient buckets (all-reduce calls per step)."""
         return len(self.buckets)
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Engine snapshot: model params, optimizer state, step count."""
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "step_count": self.step_count,
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a snapshot taken from a same-architecture DDP engine."""
+        self.model.load_state_dict(sd["model"])
+        self.optimizer.load_state_dict(sd["optimizer"])
+        self.step_count = int(sd["step_count"])
+
+    # -- the step ----------------------------------------------------------
+
+    def _collective(self, fn):
+        """Issue one collective, retrying transient failures per policy."""
+        return call_with_retry(fn, self.retry_policy, stats=self.comm.stats)
+
     def train_step(self, micros: Sequence[Any], step_fn: StepFn) -> float:
         """One optimizer step; same contract as ``FSDPEngine.train_step``."""
         if len(micros) != self.world.size:
@@ -92,21 +117,33 @@ class DDPEngine:
             raise
 
         group = self.world.world_group()
-        for bucket in self.buckets:
-            # Coalesce this bucket's gradients per rank, all-reduce once.
-            per_rank = [
-                np.concatenate(
-                    [rank_grads[r][i].reshape(-1) for i in bucket.param_indices]
-                )
-                for r in range(self.world.size)
-            ]
-            reduced = self.comm.all_reduce(per_rank, group, op="mean")[0]
-            offset = 0
-            for i in bucket.param_indices:
-                p = self.params[i]
-                n = p.grad.size
-                p.grad[...] = reduced[offset : offset + n].reshape(p.grad.shape)
-                offset += n
+        try:
+            for bucket in self.buckets:
+                # Coalesce this bucket's gradients per rank, all-reduce
+                # once. A transient collective failure is retried from the
+                # same (immutable) per-rank buffers, so a retried step is
+                # bit-identical to an uninterrupted one.
+                per_rank = [
+                    np.concatenate(
+                        [rank_grads[r][i].reshape(-1) for i in bucket.param_indices]
+                    )
+                    for r in range(self.world.size)
+                ]
+                reduced = self._collective(
+                    lambda: self.comm.all_reduce(per_rank, group, op="mean")
+                )[0]
+                offset = 0
+                for i in bucket.param_indices:
+                    p = self.params[i]
+                    n = p.grad.size
+                    p.grad[...] = reduced[offset : offset + n].reshape(p.grad.shape)
+                    offset += n
+        except CollectiveError:
+            # Retry budget exhausted: same cleanup contract as a failed
+            # step_fn — don't pin a model's worth of activations while
+            # the caller decides whether to re-drive the step.
+            self.model.release_caches()
+            raise
 
         self.optimizer.step()
         self.step_count += 1

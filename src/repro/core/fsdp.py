@@ -35,6 +35,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.comm.collectives import SimComm
+from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World, make_hybrid_mesh
 from repro.core.sharding import (
     BackwardPrefetch,
@@ -96,6 +97,12 @@ class FSDPEngine:
         effect (prefetch changes *when* data moves, not *what* moves).
     check_replicas:
         Assert replica-group gradient shards agree after all-reduce.
+    retry_policy:
+        Bounded backoff for transient collective failures
+        (:class:`~repro.comm.faults.CollectiveError`). Collectives are
+        pure functions of immutable per-rank buffers, so a retried step
+        is bit-identical to an uninterrupted one. ``None`` disables
+        retries.
     """
 
     def __init__(
@@ -108,6 +115,7 @@ class FSDPEngine:
         comm: SimComm | None = None,
         backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE,
         check_replicas: bool = False,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
     ):
         self.model = model
         self.world = world
@@ -116,6 +124,7 @@ class FSDPEngine:
         self.comm = comm if comm is not None else SimComm()
         self.backward_prefetch = backward_prefetch
         self.check_replicas = check_replicas
+        self.retry_policy = retry_policy
 
         self.mesh = make_hybrid_mesh(world, self.shard_size)
         self.units: list[FlatUnit] = default_wrap_units(model, self.shard_size)
@@ -166,6 +175,10 @@ class FSDPEngine:
 
     # -- collective phases ---------------------------------------------------
 
+    def _collective(self, fn):
+        """Issue one collective, retrying transient failures per policy."""
+        return call_with_retry(fn, self.retry_policy, stats=self.comm.stats)
+
     def _issue_param_allgathers(self) -> None:
         """All-gather every unit's shards within each shard group.
 
@@ -179,7 +192,7 @@ class FSDPEngine:
         for unit in self.units:
             for group in self.mesh.shard_groups:
                 shards = [unit.shard_view(j) for j in range(self.shard_size)]
-                gathered = self.comm.all_gather(shards, group)
+                gathered = self._collective(lambda: self.comm.all_gather(shards, group))
                 np.copyto(unit.flat, gathered[0])
 
     def _reduce_gradients(
@@ -195,10 +208,9 @@ class FSDPEngine:
         out: list[list[np.ndarray]] = []
         for u in range(len(self.units)):
             if self.strategy is ShardingStrategy.NO_SHARD:
-                reduced = self.comm.all_reduce(
-                    [rank_grads[r][u] for r in range(self.world.size)],
-                    world_group,
-                    op="mean",
+                bufs = [rank_grads[r][u] for r in range(self.world.size)]
+                reduced = self._collective(
+                    lambda: self.comm.all_reduce(bufs, world_group, op="mean")
                 )
                 out.append([reduced[0]])
                 continue
@@ -206,7 +218,11 @@ class FSDPEngine:
             per_group: list[list[np.ndarray]] = []
             for group in self.mesh.shard_groups:
                 bufs = [rank_grads[r][u] for r in group.ranks]
-                per_group.append(self.comm.reduce_scatter(bufs, group, op="mean"))
+                per_group.append(
+                    self._collective(
+                        lambda: self.comm.reduce_scatter(bufs, group, op="mean")
+                    )
+                )
             if self.mesh.n_replicas == 1:
                 out.append(per_group[0])
                 continue
@@ -215,7 +231,9 @@ class FSDPEngine:
             for j in range(self.shard_size):
                 replica_group = self.mesh.replica_groups[j]
                 bufs = [per_group[k][j] for k in range(self.mesh.n_replicas)]
-                reduced = self.comm.all_reduce(bufs, replica_group, op="mean")
+                reduced = self._collective(
+                    lambda: self.comm.all_reduce(bufs, replica_group, op="mean")
+                )
                 if self.check_replicas:
                     for r in reduced[1:]:
                         np.testing.assert_allclose(r, reduced[0], rtol=0, atol=1e-12)
@@ -255,11 +273,18 @@ class FSDPEngine:
             self.model.release_caches()
             raise
 
-        # FULL_SHARD re-gathers parameters during backward.
-        if self.strategy is ShardingStrategy.FULL_SHARD:
-            self._issue_param_allgathers()
+        try:
+            # FULL_SHARD re-gathers parameters during backward.
+            if self.strategy is ShardingStrategy.FULL_SHARD:
+                self._issue_param_allgathers()
 
-        shard_grads = self._reduce_gradients(rank_grads)
+            shard_grads = self._reduce_gradients(rank_grads)
+        except CollectiveError:
+            # Retry budget exhausted mid-collective-phase: extend the
+            # failed-step cleanup to the comm path too, so re-driving the
+            # step starts from a clean cache state.
+            self.model.release_caches()
+            raise
 
         # Optimizer on the flat shards (views -> model updated in place).
         for u, shards in enumerate(self._shards):

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.ddp import DDPEngine
 from repro.core.fsdp import FSDPEngine
-from repro.core.trainer import TrainResult
+from repro.core.trainer import CheckpointingTrainer, TrainResult
 from repro.data.transforms import augment_view
 from repro.models.simclr import SimCLRModel
 from repro.optim.schedules import CosineWithWarmup
@@ -31,7 +31,7 @@ def _simclr_step_fn(model: SimCLRModel, micro) -> float:
     return out.loss
 
 
-class SimCLRPretrainer:
+class SimCLRPretrainer(CheckpointingTrainer):
     """Contrastive pretraining over an image corpus.
 
     Distributed note: like real SimCLR without an embedding all-gather,
@@ -48,6 +48,9 @@ class SimCLRPretrainer:
         global_batch: int,
         schedule: Callable[[int], float] | None = None,
         seed: int = 0,
+        checkpoint_dir: str | None = None,
+        save_every: int = 0,
+        keep: int = 3,
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
@@ -73,6 +76,7 @@ class SimCLRPretrainer:
         self.schedule = schedule
         self.seed = seed
         self.steps_per_epoch = len(images) // global_batch
+        self._init_checkpointing(checkpoint_dir, save_every, keep)
 
     def _epoch_order(self, epoch: int) -> np.ndarray:
         rng = np.random.Generator(
@@ -117,6 +121,8 @@ class SimCLRPretrainer:
                 for r in range(world_size)
             ]
             self.engine.lr = schedule(step)
-            result.losses.append(self.engine.train_step(micros, _simclr_step_fn))
+            loss = self.engine.train_step(micros, _simclr_step_fn)
+            result.losses.append(loss)
             result.lrs.append(self.engine.lr)
+            self._record_step(step, loss, self.engine.lr)
         return result

@@ -14,13 +14,14 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.checkpoints import CheckpointManager
 from repro.core.ddp import DDPEngine
 from repro.core.fsdp import FSDPEngine
 from repro.models.mae import MaskedAutoencoder
 from repro.models.workspace import Workspace
 from repro.optim.schedules import CosineWithWarmup
 
-__all__ = ["MAEPretrainer", "TrainResult"]
+__all__ = ["MAEPretrainer", "TrainResult", "CheckpointingTrainer"]
 
 Engine = FSDPEngine | DDPEngine
 
@@ -53,6 +54,101 @@ class TrainResult:
         return np.asarray(means)
 
 
+class CheckpointingTrainer:
+    """Elastic-recovery mixin shared by the pretraining loops.
+
+    Gives a trainer periodic atomic snapshots (``save_every``) and
+    :meth:`resume`. A snapshot captures everything the trajectory depends
+    on — engine state (model params, optimizer moments, step count) plus
+    the loss/LR history — while the data order, augmentation/masking
+    noise, and LR schedule are pure functions of (seed, absolute step),
+    so restoring the snapshot and replaying from its step is bit-identical
+    to never having stopped (the ``chaos`` test campaign asserts this).
+
+    Host classes must provide ``engine``, ``seed``, ``global_batch``,
+    ``steps_per_epoch`` and a ``run(n_steps, start_step)`` that calls
+    :meth:`_record_step` once per optimizer step.
+    """
+
+    checkpoints: CheckpointManager | None
+    save_every: int
+
+    def _init_checkpointing(
+        self, checkpoint_dir: str | None, save_every: int, keep: int
+    ) -> None:
+        if save_every < 0:
+            raise ValueError(f"save_every must be non-negative, got {save_every}")
+        if save_every and checkpoint_dir is None:
+            raise ValueError("save_every requires a checkpoint_dir")
+        self.checkpoints = (
+            CheckpointManager(checkpoint_dir, keep=keep) if checkpoint_dir else None
+        )
+        self.save_every = save_every
+        self._hist_losses: list[float] = []
+        self._hist_lrs: list[float] = []
+
+    def _record_step(self, step: int, loss: float, lr: float) -> None:
+        """Append one step to the history; snapshot on the save cadence."""
+        self._hist_losses.append(loss)
+        self._hist_lrs.append(lr)
+        if self.checkpoints is not None and self.save_every:
+            if (step + 1) % self.save_every == 0:
+                self.save_snapshot()
+
+    def save_snapshot(self) -> str:
+        """Atomically snapshot the engine + history at the current step."""
+        if self.checkpoints is None:
+            raise ValueError("trainer was constructed without a checkpoint_dir")
+        state = {
+            "engine": self.engine.state_dict(),
+            "history": {
+                "losses": np.asarray(self._hist_losses, dtype=np.float64),
+                "lrs": np.asarray(self._hist_lrs, dtype=np.float64),
+            },
+        }
+        meta = {"seed": self.seed, "global_batch": self.global_batch}
+        return self.checkpoints.save(state, step=self.engine.step_count, meta=meta)
+
+    def resume(self, total_steps: int) -> TrainResult:
+        """Train through absolute step ``total_steps``, restoring the
+        latest valid snapshot first (corrupt ones are skipped).
+
+        Starts from scratch when no valid snapshot exists. Returns the
+        *full* history (restored + newly trained), so the result of an
+        interrupted-and-resumed run compares 1:1 against an
+        uninterrupted ``run(total_steps)``.
+        """
+        if self.checkpoints is None:
+            raise ValueError("resume() requires a checkpoint_dir")
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        start = 0
+        loaded = self.checkpoints.latest_valid()
+        if loaded is not None:
+            state, meta, _ = loaded
+            if meta.get("seed") != self.seed or meta.get("global_batch") != self.global_batch:
+                raise ValueError(
+                    f"snapshot was taken with seed={meta.get('seed')}, "
+                    f"global_batch={meta.get('global_batch')}; trainer has "
+                    f"seed={self.seed}, global_batch={self.global_batch}"
+                )
+            self.engine.load_state_dict(state["engine"])
+            self._hist_losses = [float(x) for x in state["history"]["losses"]]
+            self._hist_lrs = [float(x) for x in state["history"]["lrs"]]
+            start = self.engine.step_count
+        if total_steps < start:
+            raise ValueError(
+                f"snapshot is already at step {start}, beyond total_steps {total_steps}"
+            )
+        if total_steps > start:
+            self.run(total_steps - start, start_step=start)
+        return TrainResult(
+            losses=list(self._hist_losses),
+            lrs=list(self._hist_lrs),
+            steps_per_epoch=self.steps_per_epoch,
+        )
+
+
 def _mae_step_fn(model: MaskedAutoencoder, micro) -> float:
     imgs, noise = micro
     out = model.forward(imgs, noise=noise)
@@ -60,7 +156,7 @@ def _mae_step_fn(model: MaskedAutoencoder, micro) -> float:
     return out.loss
 
 
-class MAEPretrainer:
+class MAEPretrainer(CheckpointingTrainer):
     """Drives an engine through MAE pretraining on an image array.
 
     Parameters
@@ -83,6 +179,15 @@ class MAEPretrainer:
         so steady-state steps reuse scratch buffers instead of
         allocating (on by default; numerics are unchanged). Skipped when
         the model already has one attached.
+    checkpoint_dir:
+        Directory for atomic training snapshots; enables
+        :meth:`~CheckpointingTrainer.resume` and ``save_every``.
+    save_every:
+        Snapshot every this many optimizer steps (0 disables the
+        cadence; explicit :meth:`~CheckpointingTrainer.save_snapshot`
+        still works when a directory is set).
+    keep:
+        How many snapshots to retain (older ones are pruned).
     """
 
     def __init__(
@@ -93,6 +198,9 @@ class MAEPretrainer:
         schedule: Callable[[int], float] | None = None,
         seed: int = 0,
         workspace: bool = True,
+        checkpoint_dir: str | None = None,
+        save_every: int = 0,
+        keep: int = 3,
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
@@ -113,6 +221,7 @@ class MAEPretrainer:
         self.schedule = schedule
         self.seed = seed
         self.steps_per_epoch = len(images) // global_batch
+        self._init_checkpointing(checkpoint_dir, save_every, keep)
         if workspace and engine.model.workspace is None:
             engine.model.use_workspace(Workspace())
 
@@ -168,4 +277,5 @@ class MAEPretrainer:
             loss = self.engine.train_step(micros, _mae_step_fn)
             result.losses.append(loss)
             result.lrs.append(self.engine.lr)
+            self._record_step(step, loss, self.engine.lr)
         return result

@@ -52,6 +52,26 @@ class DataLoader:
         """Select which epoch's permutation the next iteration uses."""
         self._epoch = epoch
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The loader's resume cursor.
+
+        Permutations are a pure function of (seed, epoch), so the epoch
+        counter is the loader's entire persistent state: restoring it
+        makes the next iteration replay exactly the permutation an
+        uninterrupted run would have used.
+        """
+        return {"epoch": self._epoch, "seed": self.seed}
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a cursor taken from a loader with the same seed."""
+        if int(sd["seed"]) != self.seed:
+            raise ValueError(
+                f"cursor was saved with seed {sd['seed']}, loader has {self.seed}"
+            )
+        self._epoch = int(sd["epoch"])
+
     def _order(self) -> np.ndarray:
         if not self.shuffle:
             return np.arange(len(self.dataset))

@@ -86,6 +86,12 @@ class Optimizer:
                         f"slot {i}[{k}]: shape {v.shape} != param "
                         f"{p.data.shape}"
                     )
+                if v.dtype != p.data.dtype:
+                    # Moments must round-trip bit-exactly through disk;
+                    # a silent cast here would break resumed trajectories.
+                    raise ValueError(
+                        f"slot {i}[{k}]: dtype {v.dtype} != param {p.data.dtype}"
+                    )
             self.state[i] = {k: np.array(v) for k, v in slot.items()}
         self.t = int(sd["t"])
         self.lr = float(sd["lr"])

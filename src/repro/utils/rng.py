@@ -68,3 +68,35 @@ class RngPool:
     def fork(self, name: str, n: int) -> list[np.random.Generator]:
         """Create ``n`` independent streams namespaced under ``name``."""
         return [self.get(f"{name}/{i}") for i in range(n)]
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every materialized stream.
+
+        Captures each generator's bit-generator state (PCG64 position),
+        so restoring mid-sequence continues the exact draw sequence an
+        uninterrupted run would have produced.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: dict(g.bit_generator.state)
+                for name, g in self._streams.items()
+            },
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore stream cursors saved from a pool with the same seed.
+
+        Streams absent from the snapshot are left untouched; streams in
+        the snapshot are created on demand (so a fresh pool restores
+        completely).
+        """
+        if int(sd["seed"]) != self.seed:
+            raise ValueError(
+                f"state was saved from a pool seeded {sd['seed']}, "
+                f"this pool is seeded {self.seed}"
+            )
+        for name, state in sd["streams"].items():
+            self.get(name).bit_generator.state = state

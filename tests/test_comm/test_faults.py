@@ -1,0 +1,227 @@
+"""Tests for the fault-injection plan, typed errors, and retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import CommStats, SimComm
+from repro.comm.faults import (
+    CollectiveError,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.comm.world import Group
+
+
+def _group(n: int) -> Group:
+    return Group(tuple(range(n)))
+
+
+def _buffers(rng, g: int, n: int) -> list[np.ndarray]:
+    return [rng.standard_normal(n) for _ in range(g)]
+
+
+class TestFaultSpecValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective op"):
+            FaultSpec(op="all_to_all")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(op="all_reduce", kind="meteor")
+
+    def test_negative_call_index_rejected(self):
+        with pytest.raises(ValueError, match="call_index"):
+            FaultSpec(op="all_reduce", call_index=-1)
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(op="all_reduce", times=0)
+
+    def test_straggler_needs_delay(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(op="all_reduce", kind="straggler")
+
+
+class TestTransientFaults:
+    def test_raises_typed_error_with_op(self, rng):
+        comm = SimComm(fault_plan=FaultPlan([FaultSpec("all_reduce", "transient")]))
+        with pytest.raises(CollectiveError) as ei:
+            comm.all_reduce(_buffers(rng, 2, 4), _group(2))
+        assert ei.value.op == "all_reduce"
+        assert ei.value.kind == "transient"
+        assert ei.value.ranks == (0, 1)
+
+    def test_single_fault_clears_after_firing(self, rng):
+        comm = SimComm(fault_plan=FaultPlan([FaultSpec("all_reduce", "transient")]))
+        bufs = _buffers(rng, 2, 4)
+        with pytest.raises(CollectiveError):
+            comm.all_reduce(bufs, _group(2))
+        # The retry sees the same immutable inputs and succeeds exactly.
+        out = comm.all_reduce(bufs, _group(2))
+        clean = SimComm().all_reduce(bufs, _group(2))
+        np.testing.assert_array_equal(out[0], clean[0])
+
+    def test_failed_attempt_traffic_is_recorded(self, rng):
+        comm = SimComm(fault_plan=FaultPlan([FaultSpec("all_reduce", "transient")]))
+        bufs = _buffers(rng, 2, 4)
+        with pytest.raises(CollectiveError):
+            comm.all_reduce(bufs, _group(2))
+        comm.all_reduce(bufs, _group(2))
+        clean = SimComm()
+        clean.all_reduce(bufs, _group(2))
+        assert comm.stats.calls_by_op["all_reduce"] == 2
+        assert comm.stats.bytes_by_op["all_reduce"] == pytest.approx(
+            2 * clean.stats.bytes_by_op["all_reduce"]
+        )
+
+    def test_call_index_delays_arming(self, rng):
+        plan = FaultPlan([FaultSpec("all_reduce", "transient", call_index=2)])
+        comm = SimComm(fault_plan=plan)
+        bufs = _buffers(rng, 2, 4)
+        comm.all_reduce(bufs, _group(2))
+        comm.all_reduce(bufs, _group(2))
+        with pytest.raises(CollectiveError):
+            comm.all_reduce(bufs, _group(2))
+
+    def test_faults_are_per_op_class(self, rng):
+        plan = FaultPlan([FaultSpec("reduce_scatter", "transient")])
+        comm = SimComm(fault_plan=plan)
+        # Other op classes are unaffected.
+        comm.all_reduce(_buffers(rng, 2, 4), _group(2))
+        with pytest.raises(CollectiveError):
+            comm.reduce_scatter(_buffers(rng, 2, 4), _group(2))
+
+
+class TestDropAndCorrupt:
+    def test_drop_detected(self, rng):
+        comm = SimComm(fault_plan=FaultPlan([FaultSpec("all_gather", "drop", rank=1)]))
+        shards = [rng.standard_normal(3) for _ in range(2)]
+        with pytest.raises(CollectiveError) as ei:
+            comm.all_gather(shards, _group(2))
+        assert ei.value.kind == "drop"
+        assert ei.value.rank == 1
+
+    def test_corrupt_detected_via_checksum(self, rng):
+        comm = SimComm(fault_plan=FaultPlan([FaultSpec("broadcast", "corrupt")]))
+        with pytest.raises(CollectiveError, match="checksum mismatch"):
+            comm.broadcast(_buffers(rng, 3, 5), _group(3))
+
+    def test_corrupt_never_mutates_inputs(self, rng):
+        comm = SimComm(fault_plan=FaultPlan([FaultSpec("all_reduce", "corrupt")]))
+        bufs = _buffers(rng, 2, 8)
+        copies = [b.copy() for b in bufs]
+        with pytest.raises(CollectiveError):
+            comm.all_reduce(bufs, _group(2))
+        for b, c in zip(bufs, copies):
+            np.testing.assert_array_equal(b, c)
+
+    def test_victim_rank_wraps_modulo_group(self, rng):
+        comm = SimComm(fault_plan=FaultPlan([FaultSpec("all_reduce", "drop", rank=7)]))
+        with pytest.raises(CollectiveError) as ei:
+            comm.all_reduce(_buffers(rng, 3, 4), _group(3))
+        assert ei.value.rank == 7 % 3
+
+
+class TestStragglers:
+    def test_delay_charged_not_raised(self, rng):
+        plan = FaultPlan(
+            [FaultSpec("all_reduce", "straggler", rank=1, delay_s=0.25)]
+        )
+        comm = SimComm(fault_plan=plan)
+        bufs = _buffers(rng, 2, 4)
+        out = comm.all_reduce(bufs, _group(2))
+        clean = SimComm().all_reduce(bufs, _group(2))
+        np.testing.assert_array_equal(out[0], clean[0])  # numerics untouched
+        assert comm.stats.straggler_seconds_by_rank[1] == pytest.approx(0.25)
+        assert comm.stats.straggler_seconds == pytest.approx(0.25)
+
+
+class TestFaultPlan:
+    def test_seeded_plans_are_deterministic(self):
+        a = FaultPlan.seeded(7, n_faults=5)
+        b = FaultPlan.seeded(7, n_faults=5)
+        assert a.specs == b.specs
+
+    def test_seeded_plan_respects_arguments(self):
+        plan = FaultPlan.seeded(3, n_faults=4, ops=("all_gather",), kinds=("drop",))
+        assert all(s.op == "all_gather" and s.kind == "drop" for s in plan.specs)
+
+    def test_pending_counts_down(self, rng):
+        plan = FaultPlan([FaultSpec("all_reduce", "transient", times=2)])
+        comm = SimComm(fault_plan=plan)
+        assert plan.pending() == 1
+        for _ in range(2):
+            with pytest.raises(CollectiveError):
+                comm.all_reduce(_buffers(rng, 2, 4), _group(2))
+        assert plan.pending() == 0
+        comm.all_reduce(_buffers(rng, 2, 4), _group(2))
+
+
+class TestRetryPolicy:
+    def test_exponential_delays(self):
+        p = RetryPolicy(max_retries=3, backoff_base_s=0.5, backoff_factor=2.0)
+        assert [p.delay(i) for i in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay(0)
+
+
+class TestCallWithRetry:
+    def test_retries_until_success_and_charges_backoff(self):
+        stats = CommStats()
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] <= 2:
+                raise CollectiveError("all_reduce", "transient")
+            return "ok"
+
+        out = call_with_retry(flaky, RetryPolicy(max_retries=3), stats=stats)
+        assert out == "ok"
+        assert attempts["n"] == 3
+        assert stats.retries_by_op["all_reduce"] == 2
+        assert stats.backoff_seconds == pytest.approx(0.5 + 1.0)
+
+    def test_budget_exhaustion_reraises(self):
+        def always_fails():
+            raise CollectiveError("broadcast", "transient")
+
+        with pytest.raises(CollectiveError):
+            call_with_retry(always_fails, RetryPolicy(max_retries=2))
+
+    def test_none_policy_disables_retry(self):
+        calls = {"n": 0}
+
+        def fails_once():
+            calls["n"] += 1
+            raise CollectiveError("all_gather", "drop")
+
+        with pytest.raises(CollectiveError):
+            call_with_retry(fails_once, None)
+        assert calls["n"] == 1
+
+    def test_other_exceptions_propagate_unretried(self):
+        def boom():
+            raise RuntimeError("not a collective problem")
+
+        with pytest.raises(RuntimeError, match="not a collective"):
+            call_with_retry(boom, RetryPolicy())
+
+
+class TestStatsReset:
+    def test_reset_clears_resilience_counters(self):
+        stats = CommStats()
+        stats.record_retry("all_reduce", 0.5)
+        stats.record_straggler(3, 1.5)
+        stats.reset()
+        assert stats.total_retries == 0
+        assert stats.backoff_seconds == 0.0
+        assert stats.straggler_seconds == 0.0
