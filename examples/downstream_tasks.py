@@ -11,18 +11,19 @@ Usage: python examples/downstream_tasks.py   (~2 minutes)
 
 import numpy as np
 
-from repro.comm.world import World
-from repro.core.config import get_mae_config
-from repro.core.fsdp import FSDPEngine
-from repro.core.sharding import ShardingStrategy
-from repro.core.trainer import MAEPretrainer
+from repro import (
+    AdamW,
+    MAEPretrainer,
+    MaskedAutoencoder,
+    World,
+    get_mae_config,
+    make_engine,
+)
 from repro.data.datasets import build_dataset, build_pretraining_corpus
 from repro.data.segmentation import build_segmentation_dataset
 from repro.data.transforms import normalize_images
 from repro.eval.few_shot import few_shot_probe
 from repro.eval.segmentation import segmentation_probe
-from repro.models.mae import MaskedAutoencoder
-from repro.optim.adamw import AdamW
 
 
 def main() -> None:
@@ -33,10 +34,10 @@ def main() -> None:
     model = MaskedAutoencoder(
         get_mae_config("proxy-1b"), rng=np.random.default_rng(1)
     )
-    engine = FSDPEngine(
+    engine = make_engine(
         model,
-        World(1, ranks_per_node=1),
-        ShardingStrategy.NO_SHARD,
+        "no_shard",
+        world=World(1, ranks_per_node=1),
         optimizer_factory=lambda p: AdamW(p, lr=1e-3),
     )
     MAEPretrainer(engine, corpus, global_batch=64, seed=0).run(300)

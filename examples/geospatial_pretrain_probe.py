@@ -10,18 +10,19 @@ Usage: python examples/geospatial_pretrain_probe.py  (~2-3 minutes)
 
 import numpy as np
 
-from repro.comm.world import World
-from repro.core.config import get_mae_config
-from repro.core.fsdp import FSDPEngine
-from repro.core.sharding import ShardingStrategy
-from repro.core.trainer import MAEPretrainer
+from repro import (
+    AdamW,
+    MAEPretrainer,
+    MaskedAutoencoder,
+    World,
+    get_mae_config,
+    linear_probe,
+    make_engine,
+)
 from repro.data.datasets import build_pretraining_corpus
 from repro.data.transforms import normalize_images
-from repro.eval.linear_probe import linear_probe
 from repro.experiments.report import render_table
 from repro.experiments.table3 import build_probe_datasets
-from repro.models.mae import MaskedAutoencoder
-from repro.optim.adamw import AdamW
 
 MODELS = ["proxy-base", "proxy-1b"]
 STEPS = 300
@@ -39,10 +40,10 @@ def main() -> None:
         model = MaskedAutoencoder(
             get_mae_config(name), rng=np.random.default_rng(1)
         )
-        engine = FSDPEngine(
+        engine = make_engine(
             model,
-            World(1, ranks_per_node=1),
-            ShardingStrategy.NO_SHARD,
+            "no_shard",
+            world=World(1, ranks_per_node=1),
             optimizer_factory=lambda p: AdamW(p, lr=1e-3),
         )
         MAEPretrainer(engine, corpus, global_batch=64, seed=0).run(STEPS)

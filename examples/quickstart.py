@@ -15,16 +15,21 @@ Usage: python examples/quickstart.py
 
 import numpy as np
 
-from repro.comm.world import World
-from repro.core.config import get_mae_config
-from repro.core.fsdp import FSDPEngine
-from repro.core.sharding import ShardingStrategy
-from repro.core.trainer import MAEPretrainer
+from repro import (
+    AdamW,
+    EngineConfig,
+    MAEPretrainer,
+    MaskedAutoencoder,
+    RecordingSink,
+    RunReport,
+    TelemetryBus,
+    World,
+    get_mae_config,
+    linear_probe,
+    make_engine,
+)
 from repro.data.datasets import build_dataset, build_pretraining_corpus
 from repro.data.transforms import normalize_images
-from repro.eval.linear_probe import linear_probe
-from repro.models.mae import MaskedAutoencoder
-from repro.optim.adamw import AdamW
 
 
 def main() -> None:
@@ -35,11 +40,15 @@ def main() -> None:
     print("2) MAE pretraining (proxy-base, FULL_SHARD on 4 simulated GPUs)...")
     cfg = get_mae_config("proxy-base")
     model = MaskedAutoencoder(cfg, rng=np.random.default_rng(1))
-    engine = FSDPEngine(
+    bus = TelemetryBus(RecordingSink())
+    engine = make_engine(
         model,
-        World(size=4, ranks_per_node=4),
-        ShardingStrategy.FULL_SHARD,
-        optimizer_factory=lambda p: AdamW(p, lr=1e-3),
+        "full_shard",
+        world=World(size=4, ranks_per_node=4),
+        config=EngineConfig(
+            optimizer_factory=lambda p: AdamW(p, lr=1e-3),
+            telemetry=bus,
+        ),
     )
     trainer = MAEPretrainer(engine, images, global_batch=64, seed=0)
     result = trainer.run(n_steps=150)
@@ -51,6 +60,12 @@ def main() -> None:
     print(
         f"   collectives issued: {stats.total_calls} "
         f"({stats.total_bytes / 1e6:.1f} MB on the wire)"
+    )
+    report = RunReport.from_events(bus.sink.events)
+    print(
+        f"   telemetry: {report.n_events} events, "
+        f"{report.images_per_sec:.0f} images/s (measured), "
+        f"comm share {100 * report.comm_share:.1f}%"
     )
 
     print("3) linear probing on the UCM-analogue dataset...")

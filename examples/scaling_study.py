@@ -2,10 +2,13 @@
 
 The scenario from the paper's introduction: you have a ViT variant and a
 node budget — which FSDP configuration should you submit? This example
-sweeps every strategy over a node grid with the performance simulator,
-prints the throughput/memory table, picks the winner per scale, and
-exports a Chrome trace of one simulated step for inspection
-(chrome://tracing or https://ui.perfetto.dev).
+sweeps every strategy over a node grid with the performance simulator
+(publishing every grid point to a telemetry bus), prints the
+throughput/memory table, picks the winner per scale, exports a Chrome
+trace of one simulated step for inspection (chrome://tracing or
+https://ui.perfetto.dev), and dumps the full telemetry stream — grid
+gauges plus a synthesized rocm-smi-style power trace of the winning
+configuration — to a JSONL file.
 
 Usage: python examples/scaling_study.py [model] [max_nodes]
        e.g. python examples/scaling_study.py vit-3b 64
@@ -13,11 +16,13 @@ Usage: python examples/scaling_study.py [model] [max_nodes]
 
 import sys
 
+from repro import JsonlSink, TelemetryBus
 from repro.core.config import get_vit_config
 from repro.core.scaling import run_strategy_grid
 from repro.core.sharding import parse_strategy
 from repro.experiments.report import render_series
 from repro.hardware.frontier import frontier_machine
+from repro.hardware.power import PowerModel
 from repro.perf.simulator import TrainStepSimulator
 from repro.perf.tracing import write_chrome_trace
 from repro.utils.units import GIB
@@ -37,7 +42,9 @@ def main(model_name: str = "vit-3b", max_nodes: int = 64) -> None:
     cfg = get_vit_config(model_name)
     nodes = [n for n in (1, 2, 4, 8, 16, 32, 64) if n <= max_nodes]
     print(f"sweeping {len(STRATEGIES)} strategies on {nodes} nodes...")
-    grid = run_strategy_grid(cfg, STRATEGIES, nodes)
+    events_path = f"scaling_telemetry_{model_name}.jsonl"
+    bus = TelemetryBus(JsonlSink(events_path))
+    grid = run_strategy_grid(cfg, STRATEGIES, nodes, telemetry=bus)
 
     print()
     print(
@@ -85,6 +92,24 @@ def main(model_name: str = "vit-3b", max_nodes: int = 64) -> None:
     out = f"step_trace_{model_name}_{best_label}.json"
     write_chrome_trace(sim.build_schedule().timeline, out)
     print(f"\nwrote one simulated step of {best_label} to {out}")
+
+    # Synthesize a rocm-smi-style power/util trace of the winner and
+    # publish it onto the same bus before closing the JSONL stream.
+    b = sim.simulate()
+    trace = PowerModel().trace(
+        step_time_s=b.step_time_s,
+        compute_occupancy=b.compute_occupancy,
+        comm_occupancy=b.comm_occupancy,
+        memory_bytes=b.memory.total,
+        n_steps=10,
+        label=best_label,
+    )
+    n_gauges = trace.emit(bus)
+    bus.close()
+    print(
+        f"wrote {bus.sink.n_events} telemetry events "
+        f"({n_gauges} power/util gauges) to {events_path}"
+    )
 
 
 if __name__ == "__main__":

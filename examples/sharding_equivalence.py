@@ -11,22 +11,18 @@ Usage: python examples/sharding_equivalence.py
 
 import numpy as np
 
-from repro.comm.world import World
-from repro.core.config import get_mae_config
-from repro.core.ddp import DDPEngine
-from repro.core.fsdp import FSDPEngine
-from repro.core.sharding import ShardingStrategy
-from repro.core.trainer import MAEPretrainer
+from repro import MAEPretrainer, MaskedAutoencoder, World, get_mae_config, make_engine
 from repro.experiments.report import render_table
-from repro.models.mae import MaskedAutoencoder
 
+#: (display label, make_engine strategy argument, world size). Paper
+#: labels like "HYBRID_2GPUs" resolve directly (implying shard_size=2).
 CONFIGS = [
-    ("single GPU (reference)", "fsdp", 1, ShardingStrategy.NO_SHARD, None),
-    ("DDP x8", "ddp", 8, None, None),
-    ("NO_SHARD x8", "fsdp", 8, ShardingStrategy.NO_SHARD, None),
-    ("FULL_SHARD x8", "fsdp", 8, ShardingStrategy.FULL_SHARD, None),
-    ("SHARD_GRAD_OP x8", "fsdp", 8, ShardingStrategy.SHARD_GRAD_OP, None),
-    ("HYBRID_2GPUs x8", "fsdp", 8, ShardingStrategy.HYBRID_SHARD, 2),
+    ("single GPU (reference)", "no_shard", 1),
+    ("DDP x8", "ddp", 8),
+    ("NO_SHARD x8", "no_shard", 8),
+    ("FULL_SHARD x8", "full_shard", 8),
+    ("SHARD_GRAD_OP x8", "shard_grad_op", 8),
+    ("HYBRID_2GPUs x8", "HYBRID_2GPUs", 8),
 ]
 
 
@@ -37,13 +33,10 @@ def main() -> None:
 
     reference_state = None
     rows = []
-    for label, kind, world_size, strategy, shard_size in CONFIGS:
+    for label, strategy, world_size in CONFIGS:
         model = MaskedAutoencoder(cfg, rng=np.random.default_rng(7))
         world = World(world_size, ranks_per_node=4)
-        if kind == "ddp":
-            engine = DDPEngine(model, world)
-        else:
-            engine = FSDPEngine(model, world, strategy, shard_size=shard_size)
+        engine = make_engine(model, strategy, world=world)
         result = MAEPretrainer(engine, images, global_batch=32, seed=5).run(5)
 
         state = model.state_dict()

@@ -23,11 +23,15 @@ The package provides three layers:
 Quick start::
 
     from repro import (
-        FSDPEngine, MAEPretrainer, MaskedAutoencoder, ShardingStrategy,
-        World, get_mae_config,
+        EngineConfig, MAEPretrainer, MaskedAutoencoder, World,
+        get_mae_config, make_engine,
     )
 
-See ``examples/quickstart.py`` for a complete runnable walkthrough.
+    engine = make_engine(model, "full_shard", world=World(8))
+
+See ``examples/quickstart.py`` for a complete runnable walkthrough and
+the README's "API tour" for the blessed public surface re-exported
+here (engines, trainers, telemetry, data, eval).
 """
 
 from repro.comm.world import Group, World, make_hybrid_mesh
@@ -42,14 +46,33 @@ from repro.core.config import (
     get_vit_config,
 )
 from repro.core.ddp import DDPEngine
+from repro.core.engine import (
+    STRATEGY_CHOICES,
+    EngineConfig,
+    make_engine,
+)
 from repro.core.fsdp import FSDPEngine
 from repro.core.sharding import BackwardPrefetch, ShardingStrategy, parse_strategy
-from repro.core.trainer import MAEPretrainer
+from repro.core.simclr_trainer import SimCLRPretrainer
+from repro.core.trainer import MAEPretrainer, TrainResult
+from repro.data.dataloader import DataLoader
 from repro.eval.linear_probe import linear_probe
 from repro.hardware.frontier import FRONTIER, frontier_machine
 from repro.models.mae import MaskedAutoencoder
 from repro.models.vit import VisionTransformer
+from repro.optim.adamw import AdamW
 from repro.perf.simulator import PerfParams, TrainStepSimulator
+from repro.telemetry import (
+    NULL_BUS,
+    JsonlSink,
+    NullSink,
+    RecordingSink,
+    RunReport,
+    StepStats,
+    TelemetryBus,
+    TelemetryEvent,
+    write_span_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -68,9 +91,16 @@ __all__ = [
     "ShardingStrategy",
     "BackwardPrefetch",
     "parse_strategy",
+    "EngineConfig",
+    "make_engine",
+    "STRATEGY_CHOICES",
     "FSDPEngine",
     "DDPEngine",
     "MAEPretrainer",
+    "SimCLRPretrainer",
+    "TrainResult",
+    "DataLoader",
+    "AdamW",
     "VisionTransformer",
     "MaskedAutoencoder",
     "linear_probe",
@@ -78,5 +108,14 @@ __all__ = [
     "frontier_machine",
     "TrainStepSimulator",
     "PerfParams",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "NullSink",
+    "RecordingSink",
+    "JsonlSink",
+    "StepStats",
+    "NULL_BUS",
+    "RunReport",
+    "write_span_trace",
     "__version__",
 ]

@@ -8,6 +8,9 @@
 - :mod:`repro.core.fsdp` — the executable mini-FSDP engine (NO_SHARD,
   FULL_SHARD, SHARD_GRAD_OP, HYBRID_SHARD) over simulated collectives.
 - :mod:`repro.core.ddp` — bucketed distributed data parallel.
+- :mod:`repro.core.engine` — :func:`make_engine` /
+  :class:`EngineConfig`, the one-call construction path for every
+  strategy.
 - :mod:`repro.core.trainer` — MAE pretraining loop.
 - :mod:`repro.core.scaling` — weak-scaling experiment driver producing
   images-per-second, memory, and communication-share reports.
@@ -24,6 +27,12 @@ from repro.core.config import (
     get_vit_config,
 )
 from repro.core.ddp import DDPEngine
+from repro.core.engine import (
+    STRATEGY_CHOICES,
+    EngineConfig,
+    make_engine,
+    reset_deprecation_warnings,
+)
 from repro.core.fsdp import FSDPEngine
 from repro.core.sharding import (
     BackwardPrefetch,
@@ -50,6 +59,10 @@ __all__ = [
     "ShardPlan",
     "flatten_params",
     "unflatten_params",
+    "EngineConfig",
+    "make_engine",
+    "STRATEGY_CHOICES",
+    "reset_deprecation_warnings",
     "FSDPEngine",
     "DDPEngine",
     "MAEPretrainer",

@@ -8,6 +8,14 @@ bucket. The engine reproduces that call pattern through the collective
 layer (byte/call accounting matches PyTorch DDP's), which is what the
 performance model keys off when explaining the paper's observation that
 DDP falls behind FSDP as the model grows.
+
+Construction routes through the shared
+:class:`~repro.core.engine.EngineConfig` (one signature for every engine
+kind; see :func:`~repro.core.engine.make_engine`), and every step
+publishes spans/counters to the engine's telemetry bus: one
+``comm.all_reduce`` span per bucket (bytes attached), a
+``compute.fwd_bwd`` span, an ``optim.step`` span, and retry/backoff
+counters attributed to the step that incurred them.
 """
 
 from __future__ import annotations
@@ -16,21 +24,36 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.comm.bucketing import DEFAULT_BUCKET_CAP_BYTES, bucket_gradients
+from repro.comm.bucketing import bucket_gradients
 from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World
+from repro.core.engine import EngineConfig, warn_deprecated_kwarg
 from repro.models.module import Module
 from repro.optim.adamw import AdamW
 from repro.optim.base import Optimizer
+from repro.telemetry import NULL_BUS
 
 __all__ = ["DDPEngine"]
 
 StepFn = Callable[[Module, Any], float]
 
+#: Legacy kwarg -> (canonical EngineConfig field, converter).
+_LEGACY_KWARGS = {
+    "bucket_cap_mb": ("bucket_cap_bytes", lambda v: int(v * 1024 * 1024)),
+    "retries": ("retry_policy", lambda v: RetryPolicy(max_retries=int(v))),
+}
+
 
 class DDPEngine:
-    """Data-parallel training with bucketed gradient all-reduce."""
+    """Data-parallel training with bucketed gradient all-reduce.
+
+    Prefer :func:`repro.core.engine.make_engine` for construction; the
+    keyword parameters here are kept for compatibility and are folded
+    into an :class:`~repro.core.engine.EngineConfig` (available as
+    ``self.config``). When ``config`` is passed explicitly it wins over
+    the individual kwargs.
+    """
 
     def __init__(
         self,
@@ -38,21 +61,54 @@ class DDPEngine:
         world: World,
         optimizer_factory: Callable[[Sequence], Optimizer] | None = None,
         comm: SimComm | None = None,
-        bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES,
+        bucket_cap_bytes: int | None = None,
         first_bucket_cap_bytes: int | None = 1024 * 1024,
         retry_policy: RetryPolicy | None = RetryPolicy(),
+        *,
+        config: EngineConfig | None = None,
+        telemetry=None,
+        **legacy,
     ):
+        for old, (new, convert) in _LEGACY_KWARGS.items():
+            if old in legacy:
+                warn_deprecated_kwarg("DDPEngine", old, new)
+                value = convert(legacy.pop(old))
+                if old == "bucket_cap_mb":
+                    bucket_cap_bytes = value
+                else:
+                    retry_policy = value
+        if legacy:
+            raise TypeError(f"unknown DDPEngine kwargs: {sorted(legacy)}")
+        if config is None:
+            config = EngineConfig(
+                optimizer_factory=optimizer_factory,
+                comm=comm,
+                bucket_cap_bytes=(
+                    bucket_cap_bytes
+                    if bucket_cap_bytes is not None
+                    else EngineConfig().bucket_cap_bytes
+                ),
+                first_bucket_cap_bytes=first_bucket_cap_bytes,
+                retry_policy=retry_policy,
+                telemetry=telemetry,
+            )
+        self.config = config
         self.model = model
         self.world = world
-        self.comm = comm if comm is not None else SimComm()
-        self.retry_policy = retry_policy
+        self.comm = config.comm if config.comm is not None else SimComm()
+        self.retry_policy = config.retry_policy
+        self.telemetry = config.telemetry if config.telemetry is not None else NULL_BUS
         self.params = model.parameters()
         self.buckets = bucket_gradients(
             [p.grad.nbytes for p in self.params],
-            cap_bytes=bucket_cap_bytes,
-            first_bucket_cap_bytes=first_bucket_cap_bytes,
+            cap_bytes=config.bucket_cap_bytes,
+            first_bucket_cap_bytes=config.first_bucket_cap_bytes,
         )
-        factory = optimizer_factory if optimizer_factory is not None else AdamW
+        factory = (
+            config.optimizer_factory
+            if config.optimizer_factory is not None
+            else AdamW
+        )
         self.optimizer = factory(self.params)
         self.step_count = 0
 
@@ -89,9 +145,30 @@ class DDPEngine:
 
     # -- the step ----------------------------------------------------------
 
-    def _collective(self, fn):
-        """Issue one collective, retrying transient failures per policy."""
-        return call_with_retry(fn, self.retry_policy, stats=self.comm.stats)
+    def _collective(self, fn, op: str = "collective", nbytes: float = 0.0):
+        """Issue one collective, retrying transient failures per policy.
+
+        With telemetry enabled the call is wrapped in a ``comm.<op>``
+        span (bytes attached) and any retries/backoff incurred are
+        emitted as step-attributed counters — including when the retry
+        budget is exhausted and the error propagates, so backoff time is
+        never silently dropped from the step's account.
+        """
+        bus = self.telemetry
+        if not bus.enabled:
+            return call_with_retry(fn, self.retry_policy, stats=self.comm.stats)
+        stats = self.comm.stats
+        retries0 = stats.total_retries
+        backoff0 = stats.backoff_seconds
+        try:
+            with bus.span(f"comm.{op}", bytes=float(nbytes)):
+                return call_with_retry(fn, self.retry_policy, stats=stats)
+        finally:
+            if stats.total_retries != retries0:
+                bus.counter("comm.retries", stats.total_retries - retries0, op=op)
+                bus.counter(
+                    "comm.backoff_s", stats.backoff_seconds - backoff0, op=op
+                )
 
     def train_step(self, micros: Sequence[Any], step_fn: StepFn) -> float:
         """One optimizer step; same contract as ``FSDPEngine.train_step``."""
@@ -100,14 +177,17 @@ class DDPEngine:
                 f"need {self.world.size} microbatches (one per rank), "
                 f"got {len(micros)}"
             )
+        bus = self.telemetry
+        bus.set_step(self.step_count)
         losses = []
         # rank_grads[r][i]: rank r's gradient of parameter i.
         rank_grads: list[list[np.ndarray]] = []
         try:
-            for r in range(self.world.size):
-                self.model.zero_grad()
-                losses.append(float(step_fn(self.model, micros[r])))
-                rank_grads.append([p.grad.copy() for p in self.params])
+            with bus.span("compute.fwd_bwd"):
+                for r in range(self.world.size):
+                    self.model.zero_grad()
+                    losses.append(float(step_fn(self.model, micros[r])))
+                    rank_grads.append([p.grad.copy() for p in self.params])
         except Exception:
             # A step_fn that raises mid-chain (e.g. backward on a bad
             # gradient shape) would otherwise leave every module holding
@@ -130,7 +210,9 @@ class DDPEngine:
                     for r in range(self.world.size)
                 ]
                 reduced = self._collective(
-                    lambda: self.comm.all_reduce(per_rank, group, op="mean")
+                    lambda: self.comm.all_reduce(per_rank, group, op="mean"),
+                    op="all_reduce",
+                    nbytes=per_rank[0].nbytes,
                 )[0]
                 offset = 0
                 for i in bucket.param_indices:
@@ -145,6 +227,7 @@ class DDPEngine:
             self.model.release_caches()
             raise
 
-        self.optimizer.step()
+        with bus.span("optim.step"):
+            self.optimizer.step()
         self.step_count += 1
         return float(np.mean(losses))

@@ -1,0 +1,198 @@
+"""Unified engine construction: one factory, one config, five strategies.
+
+Before this module, instrumenting a run meant knowing three
+differently-shaped constructors (``DDPEngine``, ``FSDPEngine``, and the
+trainers' kwargs). Now every engine is built one way::
+
+    from repro import EngineConfig, make_engine
+
+    engine = make_engine(model, "full_shard", world=world)
+    engine = make_engine(model, "hybrid_shard", world=world,
+                         config=EngineConfig(shard_size=2, telemetry=bus))
+    engine = make_engine(model, "HYBRID_2GPUs", world=world)  # paper label
+
+``DDPEngine(...)`` / ``FSDPEngine(...)`` keep working — their
+``__init__`` kwargs are normalized into the same :class:`EngineConfig`
+internally — and renamed/divergent legacy kwargs are accepted through
+one-shot :class:`DeprecationWarning` shims.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.comm.bucketing import DEFAULT_BUCKET_CAP_BYTES
+from repro.comm.collectives import SimComm
+from repro.comm.faults import RetryPolicy
+from repro.core.sharding import BackwardPrefetch, ShardingStrategy, parse_strategy
+from repro.optim.base import Optimizer
+from repro.telemetry import TelemetryBus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.ddp import DDPEngine
+    from repro.core.fsdp import FSDPEngine
+    from repro.comm.world import World
+    from repro.models.module import Module
+
+__all__ = [
+    "EngineConfig",
+    "make_engine",
+    "STRATEGY_CHOICES",
+    "warn_deprecated_kwarg",
+    "reset_deprecation_warnings",
+]
+
+OptimizerFactory = Callable[[Sequence], Optimizer]
+
+#: Strategy names accepted by :func:`make_engine` (paper-style labels
+#: like ``"HYBRID_2GPUs"`` are accepted too).
+STRATEGY_CHOICES = ("ddp", "no_shard", "full_shard", "shard_grad_op", "hybrid_shard")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One config shared by every engine kind.
+
+    Fields common to both engines: ``optimizer_factory``, ``comm``,
+    ``retry_policy``, ``telemetry``. DDP-only: ``bucket_cap_bytes``,
+    ``first_bucket_cap_bytes``. FSDP-only: ``shard_size``,
+    ``backward_prefetch``, ``check_replicas``. Engines ignore the fields
+    that do not apply to them, so one config can build a whole strategy
+    sweep.
+
+    Attributes
+    ----------
+    optimizer_factory:
+        ``params -> Optimizer``; ``None`` selects the paper's AdamW
+        recipe.
+    comm:
+        Collective engine to issue through (fresh :class:`SimComm` per
+        engine when ``None``).
+    retry_policy:
+        Bounded backoff for transient collective failures; ``None``
+        disables retries.
+    telemetry:
+        Instrumentation bus; ``None`` means the shared disabled bus
+        (:data:`repro.telemetry.NULL_BUS`).
+    bucket_cap_bytes / first_bucket_cap_bytes:
+        DDP gradient-bucket sizing (PyTorch DDP's 25 MB / 1 MB scheme).
+    shard_size:
+        FSDP sharding-group size; required for ``hybrid_shard``, implied
+        otherwise.
+    backward_prefetch:
+        FSDP backward prefetch policy (recorded for the perf model).
+    check_replicas:
+        Assert replica-group gradient shards agree after all-reduce.
+    """
+
+    optimizer_factory: OptimizerFactory | None = None
+    comm: SimComm | None = None
+    retry_policy: RetryPolicy | None = field(default_factory=RetryPolicy)
+    telemetry: TelemetryBus | None = None
+    # DDP-only
+    bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES
+    first_bucket_cap_bytes: int | None = 1024 * 1024
+    # FSDP-only
+    shard_size: int | None = None
+    backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE
+    check_replicas: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bucket_cap_bytes <= 0:
+            raise ValueError(
+                f"bucket_cap_bytes must be positive, got {self.bucket_cap_bytes}"
+            )
+        if self.first_bucket_cap_bytes is not None and self.first_bucket_cap_bytes <= 0:
+            raise ValueError(
+                "first_bucket_cap_bytes must be positive or None, "
+                f"got {self.first_bucket_cap_bytes}"
+            )
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+
+
+_WARNED: set[tuple[str, str]] = set()
+
+
+def warn_deprecated_kwarg(owner: str, old: str, new: str) -> None:
+    """Emit a :class:`DeprecationWarning` for a renamed kwarg, once per
+    (owner, kwarg) pair for the lifetime of the process."""
+    key = (owner, old)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"{owner}({old}=...) is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the one-shot kwarg deprecation warnings (test hook)."""
+    _WARNED.clear()
+
+
+def _normalize_strategy(strategy) -> tuple[ShardingStrategy, int | None]:
+    """Map a strategy name/enum onto (ShardingStrategy, implied shard size)."""
+    if isinstance(strategy, ShardingStrategy):
+        return strategy, None
+    label = str(strategy).strip()
+    if label.lower() in STRATEGY_CHOICES:
+        label = label.upper()
+    return parse_strategy(label)
+
+
+def make_engine(
+    model: "Module",
+    strategy: str | ShardingStrategy = "ddp",
+    *,
+    world: "World",
+    config: EngineConfig | None = None,
+    **overrides,
+) -> "DDPEngine | FSDPEngine":
+    """Build a training engine for any strategy with one call.
+
+    Parameters
+    ----------
+    model:
+        The NumPy model to train.
+    strategy:
+        ``"ddp"``, ``"no_shard"``, ``"full_shard"``, ``"shard_grad_op"``,
+        ``"hybrid_shard"`` (any case), a paper label like
+        ``"HYBRID_2GPUs"`` (which also implies ``shard_size``), or a
+        :class:`~repro.core.sharding.ShardingStrategy` member.
+    world:
+        Rank layout.
+    config:
+        Shared :class:`EngineConfig`; defaults to ``EngineConfig()``.
+    overrides:
+        Individual :class:`EngineConfig` fields applied on top of
+        ``config`` for one-off tweaks
+        (``make_engine(..., shard_size=2)``).
+
+    Dispatches to :class:`~repro.core.ddp.DDPEngine` or
+    :class:`~repro.core.fsdp.FSDPEngine`; either way the engine trains
+    bit-identically to direct construction with the same settings
+    (tested per strategy).
+    """
+    cfg = config if config is not None else EngineConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    strat, implied_shard = _normalize_strategy(strategy)
+    if implied_shard is not None:
+        if cfg.shard_size is not None and cfg.shard_size != implied_shard:
+            raise ValueError(
+                f"strategy {strategy!r} implies shard_size={implied_shard}, "
+                f"but config.shard_size={cfg.shard_size}"
+            )
+        cfg = replace(cfg, shard_size=implied_shard)
+    if strat is ShardingStrategy.DDP:
+        from repro.core.ddp import DDPEngine
+
+        return DDPEngine(model, world, config=cfg)
+    from repro.core.fsdp import FSDPEngine
+
+    return FSDPEngine(model, world, strategy=strat, config=cfg)

@@ -37,6 +37,7 @@ import numpy as np
 from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World, make_hybrid_mesh
+from repro.core.engine import EngineConfig, warn_deprecated_kwarg
 from repro.core.sharding import (
     BackwardPrefetch,
     FlatUnit,
@@ -46,11 +47,18 @@ from repro.core.sharding import (
 from repro.models.module import Module
 from repro.optim.adamw import AdamW
 from repro.optim.base import Optimizer
+from repro.telemetry import NULL_BUS
 
 __all__ = ["FSDPEngine"]
 
 StepFn = Callable[[Module, Any], float]
 OptimizerFactory = Callable[[Sequence], Optimizer]
+
+#: Legacy kwarg -> canonical parameter it renames.
+_LEGACY_KWARGS = {
+    "sharding_strategy": "strategy",
+    "prefetch": "backward_prefetch",
+}
 
 
 def _resolve_shard_size(
@@ -103,6 +111,14 @@ class FSDPEngine:
         pure functions of immutable per-rank buffers, so a retried step
         is bit-identical to an uninterrupted one. ``None`` disables
         retries.
+    config:
+        Shared :class:`~repro.core.engine.EngineConfig`; when given it
+        wins over the individual kwargs (which are kept for
+        compatibility — prefer :func:`~repro.core.engine.make_engine`).
+    telemetry:
+        Instrumentation bus; every collective becomes a ``comm.<op>``
+        span with bytes attached, forward/backward a ``compute.fwd_bwd``
+        span, and retry backoff is attributed to the current step.
     """
 
     def __init__(
@@ -116,21 +132,51 @@ class FSDPEngine:
         backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE,
         check_replicas: bool = False,
         retry_policy: RetryPolicy | None = RetryPolicy(),
+        *,
+        config: EngineConfig | None = None,
+        telemetry=None,
+        **legacy,
     ):
+        for old, new in _LEGACY_KWARGS.items():
+            if old in legacy:
+                warn_deprecated_kwarg("FSDPEngine", old, new)
+                value = legacy.pop(old)
+                if new == "strategy":
+                    strategy = value
+                else:
+                    backward_prefetch = value
+        if legacy:
+            raise TypeError(f"unknown FSDPEngine kwargs: {sorted(legacy)}")
+        if config is None:
+            config = EngineConfig(
+                optimizer_factory=optimizer_factory,
+                comm=comm,
+                shard_size=shard_size,
+                backward_prefetch=backward_prefetch,
+                check_replicas=check_replicas,
+                retry_policy=retry_policy,
+                telemetry=telemetry,
+            )
+        self.config = config
         self.model = model
         self.world = world
         self.strategy = strategy
-        self.shard_size = _resolve_shard_size(strategy, shard_size, world)
-        self.comm = comm if comm is not None else SimComm()
-        self.backward_prefetch = backward_prefetch
-        self.check_replicas = check_replicas
-        self.retry_policy = retry_policy
+        self.shard_size = _resolve_shard_size(strategy, config.shard_size, world)
+        self.comm = config.comm if config.comm is not None else SimComm()
+        self.backward_prefetch = config.backward_prefetch
+        self.check_replicas = config.check_replicas
+        self.retry_policy = config.retry_policy
+        self.telemetry = config.telemetry if config.telemetry is not None else NULL_BUS
 
         self.mesh = make_hybrid_mesh(world, self.shard_size)
         self.units: list[FlatUnit] = default_wrap_units(model, self.shard_size)
         self._shards = [u.make_shards() for u in self.units]
         flat_shard_params = [s for shards in self._shards for s in shards]
-        factory = optimizer_factory if optimizer_factory is not None else AdamW
+        factory = (
+            config.optimizer_factory
+            if config.optimizer_factory is not None
+            else AdamW
+        )
         self.optimizer = factory(flat_shard_params)
         self.step_count = 0
 
@@ -175,9 +221,29 @@ class FSDPEngine:
 
     # -- collective phases ---------------------------------------------------
 
-    def _collective(self, fn):
-        """Issue one collective, retrying transient failures per policy."""
-        return call_with_retry(fn, self.retry_policy, stats=self.comm.stats)
+    def _collective(self, fn, op: str = "collective", nbytes: float = 0.0):
+        """Issue one collective, retrying transient failures per policy.
+
+        With telemetry enabled the call is wrapped in a ``comm.<op>``
+        span (bytes attached) and retries/backoff are emitted as
+        step-attributed counters even when the retry budget is exhausted
+        — backoff time is never silently dropped from the step account.
+        """
+        bus = self.telemetry
+        if not bus.enabled:
+            return call_with_retry(fn, self.retry_policy, stats=self.comm.stats)
+        stats = self.comm.stats
+        retries0 = stats.total_retries
+        backoff0 = stats.backoff_seconds
+        try:
+            with bus.span(f"comm.{op}", bytes=float(nbytes)):
+                return call_with_retry(fn, self.retry_policy, stats=stats)
+        finally:
+            if stats.total_retries != retries0:
+                bus.counter("comm.retries", stats.total_retries - retries0, op=op)
+                bus.counter(
+                    "comm.backoff_s", stats.backoff_seconds - backoff0, op=op
+                )
 
     def _issue_param_allgathers(self) -> None:
         """All-gather every unit's shards within each shard group.
@@ -192,7 +258,11 @@ class FSDPEngine:
         for unit in self.units:
             for group in self.mesh.shard_groups:
                 shards = [unit.shard_view(j) for j in range(self.shard_size)]
-                gathered = self._collective(lambda: self.comm.all_gather(shards, group))
+                gathered = self._collective(
+                    lambda: self.comm.all_gather(shards, group),
+                    op="all_gather",
+                    nbytes=unit.flat.nbytes,
+                )
                 np.copyto(unit.flat, gathered[0])
 
     def _reduce_gradients(
@@ -210,7 +280,9 @@ class FSDPEngine:
             if self.strategy is ShardingStrategy.NO_SHARD:
                 bufs = [rank_grads[r][u] for r in range(self.world.size)]
                 reduced = self._collective(
-                    lambda: self.comm.all_reduce(bufs, world_group, op="mean")
+                    lambda: self.comm.all_reduce(bufs, world_group, op="mean"),
+                    op="all_reduce",
+                    nbytes=bufs[0].nbytes,
                 )
                 out.append([reduced[0]])
                 continue
@@ -220,7 +292,9 @@ class FSDPEngine:
                 bufs = [rank_grads[r][u] for r in group.ranks]
                 per_group.append(
                     self._collective(
-                        lambda: self.comm.reduce_scatter(bufs, group, op="mean")
+                        lambda: self.comm.reduce_scatter(bufs, group, op="mean"),
+                        op="reduce_scatter",
+                        nbytes=bufs[0].nbytes,
                     )
                 )
             if self.mesh.n_replicas == 1:
@@ -232,7 +306,9 @@ class FSDPEngine:
                 replica_group = self.mesh.replica_groups[j]
                 bufs = [per_group[k][j] for k in range(self.mesh.n_replicas)]
                 reduced = self._collective(
-                    lambda: self.comm.all_reduce(bufs, replica_group, op="mean")
+                    lambda: self.comm.all_reduce(bufs, replica_group, op="mean"),
+                    op="all_reduce",
+                    nbytes=bufs[0].nbytes,
                 )
                 if self.check_replicas:
                     for r in reduced[1:]:
@@ -255,6 +331,8 @@ class FSDPEngine:
                 f"need {self.world.size} microbatches (one per rank), "
                 f"got {len(micros)}"
             )
+        bus = self.telemetry
+        bus.set_step(self.step_count)
         # Forward parameter materialization.
         self._issue_param_allgathers()
 
@@ -262,11 +340,12 @@ class FSDPEngine:
         losses = []
         rank_grads: list[list[np.ndarray]] = []
         try:
-            for r in range(self.world.size):
-                for u in self.units:
-                    u.zero_grad()
-                losses.append(float(step_fn(self.model, micros[r])))
-                rank_grads.append([u.read_grad() for u in self.units])
+            with bus.span("compute.fwd_bwd"):
+                for r in range(self.world.size):
+                    for u in self.units:
+                        u.zero_grad()
+                    losses.append(float(step_fn(self.model, micros[r])))
+                    rank_grads.append([u.read_grad() for u in self.units])
         except Exception:
             # Don't pin a model's worth of activations when a microbatch
             # fails mid-step (same cleanup contract as DDPEngine).
@@ -287,9 +366,10 @@ class FSDPEngine:
             raise
 
         # Optimizer on the flat shards (views -> model updated in place).
-        for u, shards in enumerate(self._shards):
-            for j, shard in enumerate(shards):
-                shard.grad[...] = shard_grads[u][j]
-        self.optimizer.step()
+        with bus.span("optim.step"):
+            for u, shards in enumerate(self._shards):
+                for j, shard in enumerate(shards):
+                    shard.grad[...] = shard_grads[u][j]
+            self.optimizer.step()
         self.step_count += 1
         return float(np.mean(losses))

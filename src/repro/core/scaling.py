@@ -16,14 +16,37 @@ from repro.hardware.frontier import FRONTIER, FrontierSpec, frontier_machine
 from repro.perf.io_model import IoModel
 from repro.perf.memory_model import MemoryBreakdown
 from repro.perf.simulator import PerfParams, StepBreakdown, TrainStepSimulator
+from repro.telemetry import NULL_BUS, TelemetryBus
 
 __all__ = [
     "ScalingPoint",
     "ScalingSeries",
+    "publish_breakdown",
     "run_weak_scaling",
     "run_strong_scaling",
     "run_strategy_grid",
 ]
+
+
+def publish_breakdown(
+    telemetry: TelemetryBus, breakdown: StepBreakdown, **attrs
+) -> None:
+    """Publish one simulated step's performance quantities as ``perf.*``
+    gauges (attrs identify the grid point: ``nodes=...``,
+    ``strategy=...``).
+
+    Downstream consumers recover the paper's derived numbers from the
+    bus alone — e.g. communication share is
+    ``sum(perf.exposed_comm_s) / sum(perf.step_time_s)`` over matching
+    gauges (:func:`repro.telemetry.comm_share_from_events`), numerically
+    identical to ``breakdown.comm_fraction``.
+    """
+    if not telemetry.enabled:
+        return
+    telemetry.gauge("perf.step_time_s", breakdown.step_time_s, **attrs)
+    telemetry.gauge("perf.exposed_comm_s", breakdown.exposed_comm_seconds, **attrs)
+    telemetry.gauge("perf.compute_s", breakdown.compute_seconds, **attrs)
+    telemetry.gauge("perf.ips", breakdown.ips, **attrs)
 
 
 @dataclass(frozen=True)
@@ -103,19 +126,27 @@ def run_weak_scaling(
     params: PerfParams | None = None,
     io: IoModel | None = None,
     spec: FrontierSpec = FRONTIER,
+    telemetry: TelemetryBus | None = None,
 ) -> ScalingSeries:
     """One strategy across ``node_counts`` (paper-style labels accepted:
-    ``"NO_SHARD"``, ``"DDP"``, ``"FULL_SHARD"``, ``"HYBRID_2GPUs"``...)."""
+    ``"NO_SHARD"``, ``"DDP"``, ``"FULL_SHARD"``, ``"HYBRID_2GPUs"``...).
+
+    With a ``telemetry`` bus attached, every grid point is published as
+    ``perf.*`` gauges (see :func:`publish_breakdown`).
+    """
     if not node_counts:
         raise ValueError("need at least one node count")
     if sorted(node_counts) != list(node_counts):
         raise ValueError("node_counts must be ascending (ideal uses the first)")
     params = params if params is not None else PerfParams()
+    bus = telemetry if telemetry is not None else NULL_BUS
     series = ScalingSeries(strategy=strategy_label)
     for n in node_counts:
         sim = _make_simulator(model, n, strategy_label, params, io, spec)
+        breakdown = sim.simulate()
+        publish_breakdown(bus, breakdown, nodes=n, strategy=strategy_label)
         series.points.append(
-            ScalingPoint(n_nodes=n, strategy=strategy_label, breakdown=sim.simulate())
+            ScalingPoint(n_nodes=n, strategy=strategy_label, breakdown=breakdown)
         )
     return series
 
@@ -128,6 +159,7 @@ def run_strong_scaling(
     params: PerfParams | None = None,
     io: IoModel | None = None,
     spec: FrontierSpec = FRONTIER,
+    telemetry: TelemetryBus | None = None,
 ) -> ScalingSeries:
     """Strong scaling: fixed *global* batch, shrinking local batch.
 
@@ -140,6 +172,7 @@ def run_strong_scaling(
     if sorted(node_counts) != list(node_counts):
         raise ValueError("node_counts must be ascending (ideal uses the first)")
     base = params if params is not None else PerfParams()
+    bus = telemetry if telemetry is not None else NULL_BUS
     series = ScalingSeries(strategy=f"{strategy_label} (strong, gb={global_batch})")
     from dataclasses import replace as _replace
 
@@ -156,8 +189,10 @@ def run_strong_scaling(
             )
         point_params = _replace(base, local_batch=local)
         sim = _make_simulator(model, n, strategy_label, point_params, io, spec)
+        breakdown = sim.simulate()
+        publish_breakdown(bus, breakdown, nodes=n, strategy=series.strategy)
         series.points.append(
-            ScalingPoint(n_nodes=n, strategy=series.strategy, breakdown=sim.simulate())
+            ScalingPoint(n_nodes=n, strategy=series.strategy, breakdown=breakdown)
         )
     return series
 
@@ -169,9 +204,10 @@ def run_strategy_grid(
     params: PerfParams | None = None,
     io: IoModel | None = None,
     spec: FrontierSpec = FRONTIER,
+    telemetry: TelemetryBus | None = None,
 ) -> dict[str, ScalingSeries]:
     """Several strategies over the same node grid (one Fig. 3/4 panel)."""
     return {
-        label: run_weak_scaling(model, label, node_counts, params, io, spec)
+        label: run_weak_scaling(model, label, node_counts, params, io, spec, telemetry)
         for label in strategy_labels
     }

@@ -8,6 +8,7 @@ single-process reference, exactly like the MAE trainer.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.core.trainer import CheckpointingTrainer, TrainResult
 from repro.data.transforms import augment_view
 from repro.models.simclr import SimCLRModel
 from repro.optim.schedules import CosineWithWarmup
+from repro.telemetry import StepStats, TelemetryBus
 
 __all__ = ["SimCLRPretrainer"]
 
@@ -51,6 +53,7 @@ class SimCLRPretrainer(CheckpointingTrainer):
         checkpoint_dir: str | None = None,
         save_every: int = 0,
         keep: int = 3,
+        telemetry: TelemetryBus | None = None,
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
@@ -77,6 +80,7 @@ class SimCLRPretrainer(CheckpointingTrainer):
         self.seed = seed
         self.steps_per_epoch = len(images) // global_batch
         self._init_checkpointing(checkpoint_dir, save_every, keep)
+        self._init_telemetry(telemetry)
 
     def _epoch_order(self, epoch: int) -> np.ndarray:
         rng = np.random.Generator(
@@ -121,7 +125,17 @@ class SimCLRPretrainer(CheckpointingTrainer):
                 for r in range(world_size)
             ]
             self.engine.lr = schedule(step)
+            t0 = perf_counter()
             loss = self.engine.train_step(micros, _simclr_step_fn)
+            if self.telemetry.enabled:
+                wall = perf_counter() - t0
+                StepStats(
+                    step=step,
+                    wall_s=wall,
+                    images_per_s=self.global_batch / wall if wall > 0 else 0.0,
+                    loss=loss,
+                    lr=self.engine.lr,
+                ).emit(self.telemetry)
             result.losses.append(loss)
             result.lrs.append(self.engine.lr)
             self._record_step(step, loss, self.engine.lr)

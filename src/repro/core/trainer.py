@@ -10,6 +10,7 @@ testable end-to-end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -20,6 +21,7 @@ from repro.core.fsdp import FSDPEngine
 from repro.models.mae import MaskedAutoencoder
 from repro.models.workspace import Workspace
 from repro.optim.schedules import CosineWithWarmup
+from repro.telemetry import NULL_BUS, StepStats, TelemetryBus
 
 __all__ = ["MAEPretrainer", "TrainResult", "CheckpointingTrainer"]
 
@@ -87,6 +89,34 @@ class CheckpointingTrainer:
         self._hist_losses: list[float] = []
         self._hist_lrs: list[float] = []
 
+    def _init_telemetry(self, telemetry: TelemetryBus | None) -> None:
+        """Resolve the trainer's bus: an explicit one wins (and is shared
+        down into the engine unless the engine already has a live bus);
+        otherwise the trainer inherits the engine's."""
+        engine_bus = getattr(self.engine, "telemetry", NULL_BUS)
+        if telemetry is not None:
+            self.telemetry = telemetry
+            if not engine_bus.enabled:
+                self.engine.telemetry = telemetry
+        else:
+            self.telemetry = engine_bus
+
+    def state_dict(self) -> dict:
+        """Everything the trajectory depends on: engine + loss/LR history."""
+        return {
+            "engine": self.engine.state_dict(),
+            "history": {
+                "losses": np.asarray(self._hist_losses, dtype=np.float64),
+                "lrs": np.asarray(self._hist_lrs, dtype=np.float64),
+            },
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (engine + history)."""
+        self.engine.load_state_dict(sd["engine"])
+        self._hist_losses = [float(x) for x in sd["history"]["losses"]]
+        self._hist_lrs = [float(x) for x in sd["history"]["lrs"]]
+
     def _record_step(self, step: int, loss: float, lr: float) -> None:
         """Append one step to the history; snapshot on the save cadence."""
         self._hist_losses.append(loss)
@@ -99,13 +129,7 @@ class CheckpointingTrainer:
         """Atomically snapshot the engine + history at the current step."""
         if self.checkpoints is None:
             raise ValueError("trainer was constructed without a checkpoint_dir")
-        state = {
-            "engine": self.engine.state_dict(),
-            "history": {
-                "losses": np.asarray(self._hist_losses, dtype=np.float64),
-                "lrs": np.asarray(self._hist_lrs, dtype=np.float64),
-            },
-        }
+        state = self.state_dict()
         meta = {"seed": self.seed, "global_batch": self.global_batch}
         return self.checkpoints.save(state, step=self.engine.step_count, meta=meta)
 
@@ -132,9 +156,7 @@ class CheckpointingTrainer:
                     f"global_batch={meta.get('global_batch')}; trainer has "
                     f"seed={self.seed}, global_batch={self.global_batch}"
                 )
-            self.engine.load_state_dict(state["engine"])
-            self._hist_losses = [float(x) for x in state["history"]["losses"]]
-            self._hist_lrs = [float(x) for x in state["history"]["lrs"]]
+            self.load_state_dict(state)
             start = self.engine.step_count
         if total_steps < start:
             raise ValueError(
@@ -188,6 +210,12 @@ class MAEPretrainer(CheckpointingTrainer):
         still works when a directory is set).
     keep:
         How many snapshots to retain (older ones are pruned).
+    telemetry:
+        Instrumentation bus; when given it is shared down into the
+        engine (unless the engine already carries a live bus), and the
+        trainer publishes per-step :class:`~repro.telemetry.StepStats`
+        gauges (wall time, images/s, loss, lr). Defaults to the
+        engine's bus.
     """
 
     def __init__(
@@ -201,6 +229,7 @@ class MAEPretrainer(CheckpointingTrainer):
         checkpoint_dir: str | None = None,
         save_every: int = 0,
         keep: int = 3,
+        telemetry: TelemetryBus | None = None,
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
@@ -222,6 +251,7 @@ class MAEPretrainer(CheckpointingTrainer):
         self.seed = seed
         self.steps_per_epoch = len(images) // global_batch
         self._init_checkpointing(checkpoint_dir, save_every, keep)
+        self._init_telemetry(telemetry)
         if workspace and engine.model.workspace is None:
             engine.model.use_workspace(Workspace())
 
@@ -274,7 +304,17 @@ class MAEPretrainer(CheckpointingTrainer):
                 for r in range(world_size)
             ]
             self.engine.lr = schedule(step)
+            t0 = perf_counter()
             loss = self.engine.train_step(micros, _mae_step_fn)
+            if self.telemetry.enabled:
+                wall = perf_counter() - t0
+                StepStats(
+                    step=step,
+                    wall_s=wall,
+                    images_per_s=self.global_batch / wall if wall > 0 else 0.0,
+                    loss=loss,
+                    lr=self.engine.lr,
+                ).emit(self.telemetry)
             result.losses.append(loss)
             result.lrs.append(self.engine.lr)
             self._record_step(step, loss, self.engine.lr)

@@ -12,12 +12,18 @@ from typing import Iterator
 import numpy as np
 
 from repro.data.datasets import ArrayDataset
+from repro.telemetry import NULL_BUS, TelemetryBus
 
 __all__ = ["DataLoader"]
 
 
 class DataLoader:
-    """Deterministic mini-batch iterator over an :class:`ArrayDataset`."""
+    """Deterministic mini-batch iterator over an :class:`ArrayDataset`.
+
+    When a ``telemetry`` bus is attached, every batch assembly is timed
+    as a ``data.fetch`` span (batch size attached), so input latency
+    shows up alongside compute/comm in the same trace.
+    """
     def __init__(
         self,
         dataset: ArrayDataset,
@@ -25,6 +31,7 @@ class DataLoader:
         shuffle: bool = True,
         seed: int = 0,
         drop_last: bool = False,
+        telemetry: TelemetryBus | None = None,
     ):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -40,6 +47,7 @@ class DataLoader:
         self.shuffle = shuffle
         self.seed = seed
         self.drop_last = drop_last
+        self.telemetry = telemetry if telemetry is not None else NULL_BUS
         self._epoch = 0
 
     def __len__(self) -> int:
@@ -87,6 +95,12 @@ class DataLoader:
         self._epoch += 1
         n = len(order)
         stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        bus = self.telemetry
         for start in range(0, stop, self.batch_size):
             idx = order[start : start + self.batch_size]
-            yield self.dataset.images[idx], self.dataset.labels[idx]
+            if not bus.enabled:
+                yield self.dataset.images[idx], self.dataset.labels[idx]
+                continue
+            with bus.span("data.fetch", batch=len(idx)):
+                batch = (self.dataset.images[idx], self.dataset.labels[idx])
+            yield batch

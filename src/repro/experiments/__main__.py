@@ -20,6 +20,11 @@ _SLOW = [
 ]
 
 
+def _echo(text: str) -> None:
+    """Write one line to stdout (the CLI's user-facing output channel)."""
+    sys.stdout.write(text + "\n")
+
+
 def _render(name: str) -> str:
     # Imports deferred so `--help` stays instant.
     if name == "table1":
@@ -101,20 +106,20 @@ def main(argv: list[str]) -> int:
     """Run the named experiments; returns a process exit code."""
     known = _FAST + _SLOW
     if not argv or argv[0] in ("-h", "--help"):
-        print(__doc__)
-        print(f"experiments: {', '.join(known)}, all (= fast set)")
+        _echo(__doc__)
+        _echo(f"experiments: {', '.join(known)}, all (= fast set)")
         return 0
     targets = _FAST if argv == ["all"] else argv
     unknown = [t for t in targets if t not in known]
     if unknown:
-        print(f"unknown experiment(s): {unknown}; known: {known}")
+        _echo(f"unknown experiment(s): {unknown}; known: {known}")
         return 2
     for name in targets:
         t0 = time.perf_counter()
         body = _render(name)
         dt = time.perf_counter() - t0
         bar = "=" * 78
-        print(f"{bar}\n{name}  ({dt:.1f}s)\n{bar}\n{body}\n")
+        _echo(f"{bar}\n{name}  ({dt:.1f}s)\n{bar}\n{body}\n")
     return 0
 
 

@@ -18,6 +18,7 @@ it is shared by all four models.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 
@@ -35,6 +36,8 @@ from repro.models.mae import MaskedAutoencoder
 from repro.optim.adamw import AdamW
 
 __all__ = ["DownstreamRecipe", "PretrainedModel", "pretrain_suite", "DEFAULT_CACHE_DIR"]
+
+logger = logging.getLogger("repro.experiments.downstream")
 
 DEFAULT_CACHE_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
@@ -137,10 +140,10 @@ def pretrain_suite(
                 steps_per_epoch=int(meta["steps_per_epoch"]),
             )
             if verbose:
-                print(f"[downstream] loaded cached {name}")
+                logger.info("loaded cached %s", name)
             continue
         if verbose:
-            print(f"[downstream] pretraining {name} ({recipe.steps} steps)...")
+            logger.info("pretraining %s (%d steps)...", name, recipe.steps)
         pm = _pretrain_one(name, corpus, recipe)
         out[name] = pm
         if ckpt:

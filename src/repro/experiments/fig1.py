@@ -16,11 +16,17 @@ Expected shapes (paper Section IV-A):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import MAEConfig, get_mae_config
 from repro.core.scaling import ScalingSeries, run_weak_scaling
 from repro.experiments.report import render_series
+from repro.telemetry import (
+    RecordingSink,
+    TelemetryBus,
+    TelemetryEvent,
+    comm_share_from_events,
+)
 
 __all__ = ["Fig1Result", "run_fig1", "render_fig1", "DEFAULT_NODE_GRID"]
 
@@ -32,8 +38,11 @@ MAE_IMG_SIZE = 504
 
 @dataclass
 class Fig1Result:
+    """The Fig. 1 sweep: config, series, and the published bus events."""
+
     mae: MAEConfig
     series: ScalingSeries
+    events: list[TelemetryEvent] = field(default_factory=list)
 
     @property
     def node_counts(self) -> list[int]:
@@ -52,16 +61,31 @@ class Fig1Result:
         }
 
     def comm_fractions(self) -> list[float]:
-        """Exposed-communication share per node count."""
+        """Exposed-communication share per node count.
+
+        Computed from the ``perf.*`` gauges the sweep published to the
+        telemetry bus (falls back to the breakdowns for results built
+        without events); the two sources agree exactly.
+        """
+        if self.events:
+            return [
+                comm_share_from_events(self.events, nodes=n)
+                for n in self.node_counts
+            ]
         return [p.breakdown.comm_fraction for p in self.series.points]
 
 
 def run_fig1(node_counts: list[int] | None = None) -> Fig1Result:
-    """Run the Fig. 1 weak-scaling sweep (MAE ViT-3B, NO_SHARD)."""
+    """Run the Fig. 1 weak-scaling sweep (MAE ViT-3B, NO_SHARD).
+
+    The sweep runs with a recording telemetry bus attached; the returned
+    result carries the raw ``perf.*`` gauge events alongside the series.
+    """
     nodes = node_counts if node_counts is not None else DEFAULT_NODE_GRID
     mae = get_mae_config("vit-3b", img_size=MAE_IMG_SIZE)
-    series = run_weak_scaling(mae, "NO_SHARD", nodes)
-    return Fig1Result(mae=mae, series=series)
+    bus = TelemetryBus(RecordingSink())
+    series = run_weak_scaling(mae, "NO_SHARD", nodes, telemetry=bus)
+    return Fig1Result(mae=mae, series=series, events=list(bus.sink.events))
 
 
 def render_fig1(result: Fig1Result | None = None) -> str:

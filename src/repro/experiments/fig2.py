@@ -17,10 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import get_vit_config
+from repro.core.scaling import publish_breakdown
 from repro.core.sharding import BackwardPrefetch, ShardingStrategy, parse_strategy
 from repro.experiments.report import render_table
 from repro.hardware.frontier import frontier_machine
 from repro.perf.simulator import PerfParams, TrainStepSimulator
+from repro.telemetry import RecordingSink, TelemetryBus, comm_share_from_events
 
 __all__ = ["Fig2Point", "run_fig2", "render_fig2"]
 
@@ -30,16 +32,26 @@ N_NODES = 8
 
 @dataclass(frozen=True)
 class Fig2Point:
+    """One strategy x prefetch x limit_all_gathers configuration."""
+
     strategy: str
     prefetch: BackwardPrefetch
     limit_all_gathers: bool
     ips: float
+    comm_share: float = 0.0
 
 
 def run_fig2(n_nodes: int = N_NODES) -> list[Fig2Point]:
-    """Run the Fig. 2 strategy x prefetch x limit_all_gathers sweep."""
+    """Run the Fig. 2 strategy x prefetch x limit_all_gathers sweep.
+
+    Every configuration is published to a recording telemetry bus as
+    ``perf.*`` gauges; each point's communication share is then read
+    back from the bus (:func:`repro.telemetry.comm_share_from_events`),
+    not re-derived locally.
+    """
     cfg = get_vit_config("vit-5b")
     machine = frontier_machine(n_nodes)
+    bus = TelemetryBus(RecordingSink())
     points = []
     for label in STRATEGY_LABELS:
         strategy, shard_size = parse_strategy(label)
@@ -52,12 +64,20 @@ def run_fig2(n_nodes: int = N_NODES) -> list[Fig2Point]:
                     shard_size=shard_size,
                     params=PerfParams(prefetch=prefetch, limit_all_gathers=limit),
                 )
+                breakdown = sim.simulate()
+                attrs = dict(
+                    strategy=label, prefetch=prefetch.value, limit=limit
+                )
+                publish_breakdown(bus, breakdown, **attrs)
                 points.append(
                     Fig2Point(
                         strategy=label,
                         prefetch=prefetch,
                         limit_all_gathers=limit,
-                        ips=sim.simulate().ips,
+                        ips=breakdown.ips,
+                        comm_share=comm_share_from_events(
+                            bus.sink.events, **attrs
+                        ),
                     )
                 )
     return points
@@ -77,9 +97,15 @@ def render_fig2(points: list[Fig2Point] | None = None) -> str:
     """Render Fig. 2 as a text table plus the best configuration."""
     points = points if points is not None else run_fig2()
     body = render_table(
-        headers=["strategy", "prefetch", "limit_all_gathers", "ips"],
+        headers=["strategy", "prefetch", "limit_all_gathers", "ips", "comm %"],
         rows=[
-            [p.strategy, p.prefetch.value, str(p.limit_all_gathers), round(p.ips, 1)]
+            [
+                p.strategy,
+                p.prefetch.value,
+                str(p.limit_all_gathers),
+                round(p.ips, 1),
+                round(100 * p.comm_share, 1),
+            ]
             for p in points
         ],
         title=f"Fig 2: ViT-5B on {N_NODES} nodes, local batch 32",

@@ -46,6 +46,35 @@ class PowerTrace:
         """Mean sampled utilization (%)."""
         return float(self.utilization_pct.mean())
 
+    def emit(self, telemetry, prefix: str = "hw") -> int:
+        """Publish the trace as ``<prefix>.power_w`` / ``.utilization_pct``
+        / ``.memory_bytes`` gauges on a telemetry bus (one triple per
+        sample, the trace label attached), mirroring how a rocm-smi
+        poller would feed a monitoring pipeline. Returns the number of
+        gauge events emitted (0 when the bus is disabled)."""
+        if not telemetry.enabled:
+            return 0
+        n = 0
+        for i in range(len(self.times_s)):
+            t = float(self.times_s[i])
+            telemetry.gauge(
+                f"{prefix}.power_w", float(self.power_w[i]), t=t, label=self.label
+            )
+            telemetry.gauge(
+                f"{prefix}.utilization_pct",
+                float(self.utilization_pct[i]),
+                t=t,
+                label=self.label,
+            )
+            telemetry.gauge(
+                f"{prefix}.memory_bytes",
+                float(self.memory_bytes[i]),
+                t=t,
+                label=self.label,
+            )
+            n += 3
+        return n
+
 
 @dataclass(frozen=True)
 class PowerModel:

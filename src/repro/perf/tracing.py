@@ -11,7 +11,7 @@ import json
 
 from repro.perf.events import ScheduledTask, Timeline
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = ["to_chrome_trace", "write_chrome_trace", "write_trace_json"]
 
 _US = 1e6  # trace event timestamps are microseconds
 
@@ -54,9 +54,19 @@ def to_chrome_trace(timeline: Timeline, process_name: str = "rank0") -> list[dic
     return events
 
 
+def write_trace_json(trace_events: list[dict], path: str) -> None:
+    """Write raw Trace Event dicts to ``path`` (the shared trace writer).
+
+    Used both for simulated timelines (:func:`write_chrome_trace`) and
+    for measured telemetry spans
+    (:func:`repro.telemetry.chrome.write_span_trace`).
+    """
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": trace_events}, f)
+
+
 def write_chrome_trace(
     timeline: Timeline, path: str, process_name: str = "rank0"
 ) -> None:
     """Write the trace JSON to ``path`` (open with chrome://tracing)."""
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump({"traceEvents": to_chrome_trace(timeline, process_name)}, f)
+    write_trace_json(to_chrome_trace(timeline, process_name), path)

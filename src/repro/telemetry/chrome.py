@@ -1,0 +1,75 @@
+"""Chrome-trace export of *measured* telemetry spans.
+
+Converts a recorded :class:`~repro.telemetry.bus.TelemetryEvent` stream
+into the Trace Event JSON format, reusing the writer that already serves
+the simulated timelines (:mod:`repro.perf.tracing`) — so a measured DDP
+or FSDP run opens in ``chrome://tracing`` / Perfetto exactly like the
+simulated step schedules do.
+
+Spans become complete (``"X"``) events on one thread per nesting depth
+(Perfetto renders properly-nested same-thread slices as a flame stack);
+gauges and counters become counter (``"C"``) events so loss, images/s,
+and power traces plot as counter tracks under the slices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.perf.tracing import write_trace_json
+from repro.telemetry.bus import TelemetryEvent
+
+__all__ = ["to_trace_events", "write_span_trace"]
+
+_US = 1e6  # trace event timestamps are microseconds
+
+
+def to_trace_events(
+    events: Iterable[TelemetryEvent], process_name: str = "measured"
+) -> list[dict]:
+    """Convert bus events into Chrome Trace Event dicts."""
+    out: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "args": {"name": process_name}},
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "train"},
+        },
+    ]
+    for e in events:
+        if e.kind == "span":
+            args = dict(e.attrs)
+            if e.step is not None:
+                args["step"] = e.step
+            out.append(
+                {
+                    "name": e.name,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": e.t_s * _US,
+                    "dur": e.value * _US,
+                    "cat": e.name.split(".", 1)[0],
+                    "args": args,
+                }
+            )
+        else:  # counter / gauge -> Perfetto counter track
+            out.append(
+                {
+                    "name": e.name,
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": e.t_s * _US,
+                    "args": {e.name: e.value},
+                }
+            )
+    return out
+
+
+def write_span_trace(
+    events: Iterable[TelemetryEvent], path: str, process_name: str = "measured"
+) -> None:
+    """Write a measured-run trace JSON to ``path`` (open with Perfetto)."""
+    write_trace_json(to_trace_events(events, process_name), path)

@@ -1,0 +1,210 @@
+"""Aggregation of telemetry event streams into run-level summaries.
+
+:class:`RunReport` folds a recorded event stream into exactly the
+quantities the paper reports per run: throughput (images/second), the
+communication share of a step, per-collective byte/retry totals, and
+loss/LR trajectories. The experiment drivers (``experiments/fig1.py``,
+``fig2.py``) compute their communication-share numbers from bus events
+through :func:`comm_share_from_events` instead of ad-hoc accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.telemetry.bus import TelemetryEvent, read_jsonl
+
+__all__ = [
+    "SpanAgg",
+    "GaugeAgg",
+    "RunReport",
+    "gauge_series",
+    "comm_share_from_events",
+]
+
+
+@dataclass
+class SpanAgg:
+    """Accumulated statistics of one span name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    bytes: float = 0.0
+
+    def add(self, event: TelemetryEvent) -> None:
+        """Fold one span event in."""
+        self.count += 1
+        self.total_s += event.value
+        self.max_s = max(self.max_s, event.value)
+        self.bytes += float(event.attrs.get("bytes", 0.0))
+
+    @property
+    def mean_s(self) -> float:
+        """Mean span duration in seconds."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class GaugeAgg:
+    """Accumulated statistics of one gauge name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    last: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def add(self, event: TelemetryEvent) -> None:
+        """Fold one gauge reading in."""
+        self.count += 1
+        self.total += event.value
+        self.last = event.value
+        self.min = min(self.min, event.value)
+        self.max = max(self.max, event.value)
+
+    @property
+    def mean(self) -> float:
+        """Mean reading."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class RunReport:
+    """Run-level aggregate of one telemetry event stream.
+
+    Spans are grouped by name (durations and ``bytes`` attrs summed),
+    counters are summed, gauges keep count/mean/last/min/max. The
+    derived properties map one-to-one onto the paper's reported
+    quantities — see DESIGN.md's observability section.
+    """
+
+    spans: dict[str, SpanAgg] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, GaugeAgg] = field(default_factory=dict)
+    n_events: int = 0
+
+    @classmethod
+    def from_events(cls, events: Iterable[TelemetryEvent]) -> "RunReport":
+        """Aggregate an in-memory event stream."""
+        report = cls()
+        for e in events:
+            report.n_events += 1
+            if e.kind == "span":
+                report.spans.setdefault(e.name, SpanAgg(e.name)).add(e)
+            elif e.kind == "counter":
+                report.counters[e.name] = report.counters.get(e.name, 0.0) + e.value
+            elif e.kind == "gauge":
+                report.gauges.setdefault(e.name, GaugeAgg(e.name)).add(e)
+            else:
+                raise ValueError(f"unknown event kind {e.kind!r}")
+        return report
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "RunReport":
+        """Aggregate a JSONL stream written by ``JsonlSink``."""
+        return cls.from_events(read_jsonl(path))
+
+    # -- derived quantities (the paper's observables) ----------------------
+
+    def span_seconds(self, prefix: str) -> float:
+        """Total seconds across span names starting with ``prefix``."""
+        return sum(a.total_s for n, a in self.spans.items() if n.startswith(prefix))
+
+    def span_bytes(self, prefix: str = "comm.") -> float:
+        """Total ``bytes`` attr across span names starting with ``prefix``."""
+        return sum(a.bytes for n, a in self.spans.items() if n.startswith(prefix))
+
+    @property
+    def comm_seconds(self) -> float:
+        """Wall seconds spent inside collective spans."""
+        return self.span_seconds("comm.")
+
+    @property
+    def compute_seconds(self) -> float:
+        """Wall seconds spent inside forward/backward spans."""
+        return self.span_seconds("compute.")
+
+    @property
+    def step_seconds(self) -> float:
+        """Total wall seconds across recorded optimizer steps."""
+        agg = self.gauges.get("step.wall_s")
+        if agg is not None and agg.total > 0:
+            return agg.total
+        # Fallback when only engine spans were recorded.
+        return self.comm_seconds + self.compute_seconds + self.span_seconds("optim.")
+
+    @property
+    def comm_share(self) -> float:
+        """Communication share of the run (comm seconds / step seconds)."""
+        denom = self.step_seconds
+        return self.comm_seconds / denom if denom > 0 else 0.0
+
+    @property
+    def n_steps(self) -> int:
+        """Number of optimizer steps with emitted ``StepStats``."""
+        agg = self.gauges.get("step.loss")
+        return agg.count if agg is not None else 0
+
+    @property
+    def images_per_sec(self) -> float:
+        """Mean per-step throughput (images/second)."""
+        agg = self.gauges.get("step.images_per_s")
+        return agg.mean if agg is not None else 0.0
+
+    @property
+    def final_loss(self) -> float:
+        """Loss at the last recorded step."""
+        agg = self.gauges.get("step.loss")
+        return agg.last if agg is not None else float("nan")
+
+    def render(self) -> str:
+        """Human-readable multi-line summary of the run."""
+        lines = [
+            f"steps: {self.n_steps}   images/s (mean): {self.images_per_sec:.1f}   "
+            f"comm share: {100 * self.comm_share:.1f}%",
+        ]
+        if self.spans:
+            lines.append(f"{'span':<24} {'calls':>6} {'total s':>10} {'mean us':>10}")
+            for name in sorted(self.spans, key=lambda n: -self.spans[n].total_s):
+                a = self.spans[name]
+                lines.append(
+                    f"{name:<24} {a.count:>6} {a.total_s:>10.4f} "
+                    f"{1e6 * a.mean_s:>10.1f}"
+                )
+        if self.counters:
+            lines.append("counters: " + ", ".join(
+                f"{k}={v:g}" for k, v in sorted(self.counters.items())
+            ))
+        return "\n".join(lines)
+
+
+def gauge_series(
+    events: Iterable[TelemetryEvent], name: str, **attr_filter
+) -> list[float]:
+    """Readings of gauge ``name`` whose attrs match every filter kwarg."""
+    out = []
+    for e in events:
+        if e.kind != "gauge" or e.name != name:
+            continue
+        if all(e.attrs.get(k) == v for k, v in attr_filter.items()):
+            out.append(e.value)
+    return out
+
+
+def comm_share_from_events(events: Iterable[TelemetryEvent], **attr_filter) -> float:
+    """Exposed-communication share from published ``perf.*`` gauges.
+
+    The scaling drivers publish one ``perf.step_time_s`` and one
+    ``perf.exposed_comm_s`` gauge per simulated point; this folds the
+    matching readings into a share, so experiment scripts report the
+    number the bus carries rather than re-deriving it locally.
+    """
+    events = list(events)
+    step = sum(gauge_series(events, "perf.step_time_s", **attr_filter))
+    comm = sum(gauge_series(events, "perf.exposed_comm_s", **attr_filter))
+    return comm / step if step > 0 else 0.0

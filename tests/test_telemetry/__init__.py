@@ -1,0 +1,1 @@
+"""Tests of the telemetry bus, aggregation, and exporters."""

@@ -1,0 +1,1 @@
+"""Tests of the repo's lint/tooling scripts."""

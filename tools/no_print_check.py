@@ -1,0 +1,73 @@
+"""Lint: no bare ``print()`` calls inside the ``repro`` package.
+
+Library code must publish through the telemetry bus or ``logging`` —
+user-facing output belongs to CLIs (which route through their own echo
+helpers) and example scripts, never to importable modules. This walks
+every module under ``src/repro/`` with the AST (docstrings and comments
+are naturally invisible to it) and reports each offending call.
+
+Usage::
+
+    python tools/no_print_check.py [root]
+
+Exits 0 when clean, 1 with one ``path:line: message`` per violation.
+Wired into tier-1 via ``tests/test_tooling/test_no_print.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Modules allowed to call print(): none. CLI entry points use explicit
+#: stdout writers instead, keeping the rule trivially enforceable.
+ALLOWED: frozenset[str] = frozenset()
+
+
+def find_prints(source: str, path: str) -> list[tuple[str, int]]:
+    """Return (path, lineno) for every bare ``print(...)`` call in ``source``."""
+    tree = ast.parse(source, filename=path)
+    hits = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            hits.append((path, node.lineno))
+    return hits
+
+
+def check_tree(root: Path) -> list[str]:
+    """Lint every ``*.py`` under ``root``; return violation messages."""
+    violations = []
+    for py in sorted(root.rglob("*.py")):
+        rel = py.relative_to(root).as_posix()
+        if rel in ALLOWED:
+            continue
+        for path, lineno in find_prints(py.read_text(encoding="utf-8"), str(py)):
+            violations.append(
+                f"{path}:{lineno}: bare print() in library code "
+                "(use the telemetry bus or logging)"
+            )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    root = Path(argv[0]) if argv else Path(__file__).parent.parent / "src" / "repro"
+    if not root.is_dir():
+        sys.stderr.write(f"not a directory: {root}\n")
+        return 2
+    violations = check_tree(root)
+    for v in violations:
+        sys.stderr.write(v + "\n")
+    if violations:
+        sys.stderr.write(f"{len(violations)} bare print() call(s) found\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
