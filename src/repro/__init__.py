@@ -62,6 +62,7 @@ from repro.models.mae import MaskedAutoencoder
 from repro.models.vit import VisionTransformer
 from repro.optim.adamw import AdamW
 from repro.perf.simulator import PerfParams, TrainStepSimulator
+from repro.precision import LossScaler, bf16_round, from_bf16, to_bf16
 from repro.telemetry import (
     NULL_BUS,
     JsonlSink,
@@ -108,6 +109,10 @@ __all__ = [
     "frontier_machine",
     "TrainStepSimulator",
     "PerfParams",
+    "LossScaler",
+    "bf16_round",
+    "to_bf16",
+    "from_bf16",
     "TelemetryBus",
     "TelemetryEvent",
     "NullSink",

@@ -26,6 +26,24 @@ all-reduce            ``2 * (g - 1) / g * S``
 broadcast             ``S`` at root via a binomial tree (logged
                       as total tree traffic ``S * (g - 1)``)
 ====================  =========================================
+
+Dtype-aware accounting: the SPMD substrate computes in float64, but the
+*logical* wire payload is the training precision's. Reduce-type
+collectives accept ``wire_dtype`` ("fp32" default / "bf16"), which
+scales ``S`` by :data:`repro.precision.WIRE_FRACTION` before recording —
+so a bf16 gradient reduction books exactly half the bytes of the same
+call at full precision, split out per dtype in
+``CommStats.bytes_by_dtype``.
+
+Gradient accumulation: reduce-type collectives accept
+``parts_per_rank=k``: ``k * g`` buffers (round-major — all of round 0's
+contributions, then round 1's, ...) are reduced in **one**
+``np.stack(...).mean`` and ``g`` outputs are returned. Because NumPy's
+axis-0 reduction is sequential, this makes a ``k``-round accumulated
+step bit-identical to the same reduction in a ``k * g``-rank world.
+Wire accounting stays at one buffer's payload over ``g`` ranks — the
+accumulated contributions are combined locally before hitting the wire
+(PyTorch ``no_sync`` semantics), not retransmitted per round.
 """
 
 from __future__ import annotations
@@ -42,6 +60,7 @@ from repro.comm.faults import (
     corrupt_copy,
 )
 from repro.comm.world import Group
+from repro.precision.bf16 import wire_fraction
 
 __all__ = ["SimComm", "CommStats", "ReduceOp"]
 
@@ -69,26 +88,36 @@ class CommStats:
 
     calls_by_op: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_op: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    bytes_by_dtype: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
     retries_by_op: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     backoff_seconds: float = 0.0
     straggler_seconds_by_rank: dict[int, float] = field(
         default_factory=lambda: defaultdict(float)
     )
 
-    def record(self, op: str, group_size: int, full_bytes: float) -> None:
-        """Account one collective call of ``full_bytes`` over ``group_size`` ranks."""
+    def record(
+        self, op: str, group_size: int, full_bytes: float, dtype: str = "fp32"
+    ) -> None:
+        """Account one collective call of ``full_bytes`` over ``group_size`` ranks.
+
+        ``full_bytes`` is the already-dtype-scaled logical payload;
+        ``dtype`` only labels which ``bytes_by_dtype`` bin the resulting
+        wire bytes land in.
+        """
         self.calls_by_op[op] += 1
         g = group_size
         if op == "all_gather" or op == "reduce_scatter":
-            per_rank = (g - 1) / g * full_bytes
-            self.bytes_by_op[op] += per_rank * g
+            wire = (g - 1) / g * full_bytes * g
         elif op == "all_reduce":
-            per_rank = 2 * (g - 1) / g * full_bytes
-            self.bytes_by_op[op] += per_rank * g
+            wire = 2 * (g - 1) / g * full_bytes * g
         elif op == "broadcast":
-            self.bytes_by_op[op] += full_bytes * (g - 1)
+            wire = full_bytes * (g - 1)
         else:
             raise ValueError(f"unknown collective op {op!r}")
+        self.bytes_by_op[op] += wire
+        self.bytes_by_dtype[dtype] += wire
 
     def record_retry(self, op: str, backoff_s: float) -> None:
         """Account one engine-level retry of ``op`` and its backoff."""
@@ -123,6 +152,7 @@ class CommStats:
         """Clear all counters."""
         self.calls_by_op.clear()
         self.bytes_by_op.clear()
+        self.bytes_by_dtype.clear()
         self.retries_by_op.clear()
         self.backoff_seconds = 0.0
         self.straggler_seconds_by_rank.clear()
@@ -208,27 +238,60 @@ class SimComm:
                 )
 
     @staticmethod
-    def _check(buffers: list[np.ndarray], group: Group, same_shape: bool = True) -> None:
-        if len(buffers) != group.size:
+    def _check(
+        buffers: list[np.ndarray],
+        group: Group,
+        same_shape: bool = True,
+        parts_per_rank: int = 1,
+    ) -> None:
+        if parts_per_rank < 1:
+            raise ValueError(f"parts_per_rank must be >= 1, got {parts_per_rank}")
+        expected = group.size * parts_per_rank
+        if len(buffers) != expected:
             raise ValueError(
-                f"expected {group.size} buffers for group {group.ranks}, "
-                f"got {len(buffers)}"
+                f"expected {expected} buffers for group {group.ranks} "
+                f"(parts_per_rank={parts_per_rank}), got {len(buffers)}"
             )
         if same_shape:
             shapes = {b.shape for b in buffers}
             if len(shapes) != 1:
                 raise ValueError(f"buffers must share one shape, got {shapes}")
 
+    @staticmethod
+    def _wire_bytes(nbytes: float, wire_dtype: str | None) -> tuple[float, str]:
+        """(logical payload bytes, dtype label) for a native-sized buffer."""
+        if wire_dtype is None:
+            return float(nbytes), "fp32"
+        return nbytes * wire_fraction(wire_dtype), wire_dtype
+
     # -- collectives -----------------------------------------------------
 
     def all_reduce(
-        self, buffers: list[np.ndarray], group: Group, op: str = "sum"
+        self,
+        buffers: list[np.ndarray],
+        group: Group,
+        op: str = "sum",
+        *,
+        parts_per_rank: int = 1,
+        wire_dtype: str | None = None,
     ) -> list[np.ndarray]:
-        """Reduce across the group; every rank receives the full result."""
-        self._check(buffers, group)
-        self.stats.record("all_reduce", group.size, buffers[0].nbytes)
+        """Reduce across the group; every rank receives the full result.
+
+        With ``parts_per_rank=k`` the call reduces ``k * group.size``
+        round-major accumulation contributions in one stack reduction
+        and still returns one output per rank (see module docstring);
+        the ring path only applies to the plain ``k == 1`` case.
+        """
+        self._check(buffers, group, parts_per_rank=parts_per_rank)
+        full, dtype = self._wire_bytes(buffers[0].nbytes, wire_dtype)
+        self.stats.record("all_reduce", group.size, full, dtype=dtype)
         self._inject_faults("all_reduce", group, buffers)
-        if self.use_ring and group.size > 1 and buffers[0].size >= group.size:
+        if (
+            self.use_ring
+            and parts_per_rank == 1
+            and group.size > 1
+            and buffers[0].size >= group.size
+        ):
             shards = self._ring_reduce_scatter(buffers, op)
             gathered = self._ring_all_gather(shards)
             n = buffers[0].size
@@ -236,53 +299,74 @@ class SimComm:
         result = _reduce(np.stack(buffers), op)
         return [result.copy() for _ in range(group.size)]
 
-    def all_gather(self, shards: list[np.ndarray], group: Group) -> list[np.ndarray]:
+    def all_gather(
+        self,
+        shards: list[np.ndarray],
+        group: Group,
+        *,
+        wire_dtype: str | None = None,
+    ) -> list[np.ndarray]:
         """Concatenate every rank's 1-D shard; every rank gets the whole."""
         self._check(shards, group, same_shape=False)
         for s in shards:
             if s.ndim != 1:
                 raise ValueError("all_gather operates on 1-D shards")
-        full_bytes = sum(s.nbytes for s in shards)
-        self.stats.record("all_gather", group.size, full_bytes)
+        full, dtype = self._wire_bytes(sum(s.nbytes for s in shards), wire_dtype)
+        self.stats.record("all_gather", group.size, full, dtype=dtype)
         self._inject_faults("all_gather", group, shards)
         if self.use_ring and group.size > 1:
             shapes = {s.shape for s in shards}
             if len(shapes) == 1:
                 return self._ring_all_gather(shards)
-        full = np.concatenate(shards)
-        return [full.copy() for _ in range(group.size)]
+        full_buf = np.concatenate(shards)
+        return [full_buf.copy() for _ in range(group.size)]
 
     def reduce_scatter(
-        self, buffers: list[np.ndarray], group: Group, op: str = "sum"
+        self,
+        buffers: list[np.ndarray],
+        group: Group,
+        op: str = "sum",
+        *,
+        parts_per_rank: int = 1,
+        wire_dtype: str | None = None,
     ) -> list[np.ndarray]:
         """Reduce across the group, then shard the result: rank i gets chunk i.
 
         Buffers must be 1-D with length divisible by the group size (the
-        FSDP flat-parameter layer guarantees this by padding).
+        FSDP flat-parameter layer guarantees this by padding). With
+        ``parts_per_rank=k``, ``k * group.size`` round-major accumulation
+        contributions enter one stack reduction (see module docstring).
         """
-        self._check(buffers, group)
+        self._check(buffers, group, parts_per_rank=parts_per_rank)
         g = group.size
         n = buffers[0].size
         if buffers[0].ndim != 1:
             raise ValueError("reduce_scatter operates on 1-D buffers")
         if n % g != 0:
             raise ValueError(f"buffer length {n} not divisible by group size {g}")
-        self.stats.record("reduce_scatter", g, buffers[0].nbytes)
+        full, dtype = self._wire_bytes(buffers[0].nbytes, wire_dtype)
+        self.stats.record("reduce_scatter", g, full, dtype=dtype)
         self._inject_faults("reduce_scatter", group, buffers)
-        if self.use_ring and g > 1:
+        if self.use_ring and parts_per_rank == 1 and g > 1:
             return self._ring_reduce_scatter(buffers, op)
         reduced = _reduce(np.stack(buffers), op)
         chunk = n // g
         return [reduced[i * chunk : (i + 1) * chunk].copy() for i in range(g)]
 
     def broadcast(
-        self, buffers: list[np.ndarray], group: Group, root_index: int = 0
+        self,
+        buffers: list[np.ndarray],
+        group: Group,
+        root_index: int = 0,
+        *,
+        wire_dtype: str | None = None,
     ) -> list[np.ndarray]:
         """Copy the root group-rank's buffer to every rank."""
         self._check(buffers, group)
         if not 0 <= root_index < group.size:
             raise ValueError(f"root_index {root_index} out of range")
-        self.stats.record("broadcast", group.size, buffers[root_index].nbytes)
+        full, dtype = self._wire_bytes(buffers[root_index].nbytes, wire_dtype)
+        self.stats.record("broadcast", group.size, full, dtype=dtype)
         self._inject_faults("broadcast", group, buffers)
         src = buffers[root_index]
         return [src.copy() for _ in range(group.size)]

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.comm.world import Group, World
+from repro.precision.bf16 import wire_fraction
 
 __all__ = ["GroupPlacement", "CollectiveCostModel"]
 
@@ -133,20 +134,35 @@ class CollectiveCostModel:
             + wire_bytes / bw
         )
 
-    def all_gather(self, nbytes: float, placement: GroupPlacement) -> float:
-        """Time to all-gather a tensor of ``nbytes`` total (unsharded) size."""
-        g = placement.group_size
-        return self._ring(1, (g - 1) / g * nbytes, placement)
+    def all_gather(
+        self, nbytes: float, placement: GroupPlacement, wire_dtype: str = "fp32"
+    ) -> float:
+        """Time to all-gather a tensor of ``nbytes`` total (unsharded) size.
 
-    def reduce_scatter(self, nbytes: float, placement: GroupPlacement) -> float:
-        """Time to reduce-scatter a tensor of ``nbytes`` total size."""
+        ``nbytes`` is the native (fp32) size; ``wire_dtype`` scales the
+        on-wire payload (bf16 halves it), leaving latency terms alone.
+        """
         g = placement.group_size
-        return self._ring(1, (g - 1) / g * nbytes, placement)
+        wire = wire_fraction(wire_dtype) * nbytes
+        return self._ring(1, (g - 1) / g * wire, placement)
 
-    def all_reduce(self, nbytes: float, placement: GroupPlacement) -> float:
-        """Time to all-reduce a tensor of ``nbytes`` size (RS + AG ring)."""
+    def reduce_scatter(
+        self, nbytes: float, placement: GroupPlacement, wire_dtype: str = "fp32"
+    ) -> float:
+        """Time to reduce-scatter a tensor of ``nbytes`` total size (native
+        fp32; ``wire_dtype`` scales the on-wire payload)."""
         g = placement.group_size
-        return self._ring(2, 2 * (g - 1) / g * nbytes, placement)
+        wire = wire_fraction(wire_dtype) * nbytes
+        return self._ring(1, (g - 1) / g * wire, placement)
+
+    def all_reduce(
+        self, nbytes: float, placement: GroupPlacement, wire_dtype: str = "fp32"
+    ) -> float:
+        """Time to all-reduce a tensor of ``nbytes`` size (RS + AG ring;
+        ``wire_dtype`` scales the on-wire payload)."""
+        g = placement.group_size
+        wire = wire_fraction(wire_dtype) * nbytes
+        return self._ring(2, 2 * (g - 1) / g * wire, placement)
 
     def broadcast(self, nbytes: float, placement: GroupPlacement) -> float:
         """Binomial-tree broadcast (used only for initial parameter sync)."""

@@ -29,6 +29,7 @@ from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World
 from repro.core.engine import EngineConfig, warn_deprecated_kwarg
+from repro.core.mixed_precision import MixedPrecisionMixin
 from repro.models.module import Module
 from repro.optim.adamw import AdamW
 from repro.optim.base import Optimizer
@@ -45,7 +46,7 @@ _LEGACY_KWARGS = {
 }
 
 
-class DDPEngine:
+class DDPEngine(MixedPrecisionMixin):
     """Data-parallel training with bucketed gradient all-reduce.
 
     Prefer :func:`repro.core.engine.make_engine` for construction; the
@@ -110,6 +111,7 @@ class DDPEngine:
             else AdamW
         )
         self.optimizer = factory(self.params)
+        self._init_precision()
         self.step_count = 0
 
     @property
@@ -130,10 +132,12 @@ class DDPEngine:
     # -- checkpointing -----------------------------------------------------
 
     def state_dict(self) -> dict:
-        """Engine snapshot: model params, optimizer state, step count."""
+        """Engine snapshot: model params, optimizer state (master weights
+        included under bf16), loss-scaler state, step count."""
         return {
             "model": self.model.state_dict(),
             "optimizer": self.optimizer.state_dict(),
+            "scaler": self.scaler.state_dict(),
             "step_count": self.step_count,
         }
 
@@ -141,6 +145,8 @@ class DDPEngine:
         """Restore a snapshot taken from a same-architecture DDP engine."""
         self.model.load_state_dict(sd["model"])
         self.optimizer.load_state_dict(sd["optimizer"])
+        if "scaler" in sd:
+            self.scaler.load_state_dict(sd["scaler"])
         self.step_count = int(sd["step_count"])
 
     # -- the step ----------------------------------------------------------
@@ -171,23 +177,37 @@ class DDPEngine:
                 )
 
     def train_step(self, micros: Sequence[Any], step_fn: StepFn) -> float:
-        """One optimizer step; same contract as ``FSDPEngine.train_step``."""
-        if len(micros) != self.world.size:
-            raise ValueError(
-                f"need {self.world.size} microbatches (one per rank), "
-                f"got {len(micros)}"
-            )
+        """One optimizer step; same contract as ``FSDPEngine.train_step``.
+
+        Takes ``grad_accum_steps * world.size`` microbatches, round-major
+        (round 0's per-rank micros, then round 1's, ...). All rounds'
+        gradient contributions enter one all-reduce per bucket
+        (``parts_per_rank``), so an fp32 ``k``-round step is bit-identical
+        to the same global batch on a ``k``-times-larger world. Under
+        bf16, inputs and outbound gradients are rounded onto the bf16
+        grid and the all-reduce books half the wire bytes.
+        """
+        self._check_micros(micros)
+        k = self.grad_accum_steps
         bus = self.telemetry
         bus.set_step(self.step_count)
+        self._emit_precision_gauges()
         losses = []
-        # rank_grads[r][i]: rank r's gradient of parameter i.
-        rank_grads: list[list[np.ndarray]] = []
+        # round_grads[j][r][i]: round j, rank r's gradient of parameter i,
+        # already loss-scaled/quantized for the wire.
+        round_grads: list[list[list[np.ndarray]]] = []
         try:
-            with bus.span("compute.fwd_bwd"):
-                for r in range(self.world.size):
-                    self.model.zero_grad()
-                    losses.append(float(step_fn(self.model, micros[r])))
-                    rank_grads.append([p.grad.copy() for p in self.params])
+            for j in range(k):
+                with bus.span("compute.fwd_bwd"):
+                    per_rank = []
+                    for r in range(self.world.size):
+                        micro = self._cast_micro(micros[j * self.world.size + r])
+                        self.model.zero_grad()
+                        losses.append(float(step_fn(self.model, micro)))
+                        per_rank.append(
+                            [self._outbound_grad(p.grad) for p in self.params]
+                        )
+                    round_grads.append(per_rank)
         except Exception:
             # A step_fn that raises mid-chain (e.g. backward on a bad
             # gradient shape) would otherwise leave every module holding
@@ -198,28 +218,33 @@ class DDPEngine:
 
         group = self.world.world_group()
         try:
+            reduced_flat: list[np.ndarray] = []
             for bucket in self.buckets:
-                # Coalesce this bucket's gradients per rank, all-reduce
-                # once. A transient collective failure is retried from the
-                # same (immutable) per-rank buffers, so a retried step is
-                # bit-identical to an uninterrupted one.
-                per_rank = [
+                # Coalesce this bucket's gradients per (round, rank),
+                # all-reduce once over all k * W contributions. A transient
+                # collective failure is retried from the same (immutable)
+                # buffers, so a retried step is bit-identical to an
+                # uninterrupted one.
+                per_contrib = [
                     np.concatenate(
-                        [rank_grads[r][i].reshape(-1) for i in bucket.param_indices]
+                        [round_grads[j][r][i].reshape(-1) for i in bucket.param_indices]
                     )
+                    for j in range(k)
                     for r in range(self.world.size)
                 ]
-                reduced = self._collective(
-                    lambda: self.comm.all_reduce(per_rank, group, op="mean"),
-                    op="all_reduce",
-                    nbytes=per_rank[0].nbytes,
-                )[0]
-                offset = 0
-                for i in bucket.param_indices:
-                    p = self.params[i]
-                    n = p.grad.size
-                    p.grad[...] = reduced[offset : offset + n].reshape(p.grad.shape)
-                    offset += n
+                reduced_flat.append(
+                    self._collective(
+                        lambda: self.comm.all_reduce(
+                            per_contrib,
+                            group,
+                            op="mean",
+                            parts_per_rank=k,
+                            wire_dtype=self._wire_dtype,
+                        ),
+                        op="all_reduce",
+                        nbytes=self._wire_nbytes(per_contrib[0].nbytes),
+                    )[0]
+                )
         except CollectiveError:
             # Retry budget exhausted: same cleanup contract as a failed
             # step_fn — don't pin a model's worth of activations while
@@ -227,7 +252,17 @@ class DDPEngine:
             self.model.release_caches()
             raise
 
-        with bus.span("optim.step"):
-            self.optimizer.step()
+        apply_update = self._grad_postprocess(reduced_flat)
+        for bucket, reduced in zip(self.buckets, reduced_flat):
+            offset = 0
+            for i in bucket.param_indices:
+                p = self.params[i]
+                n = p.grad.size
+                p.grad[...] = reduced[offset : offset + n].reshape(p.grad.shape)
+                offset += n
+
+        if apply_update:
+            with bus.span("optim.step"):
+                self.optimizer.step()
         self.step_count += 1
         return float(np.mean(losses))

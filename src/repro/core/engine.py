@@ -28,6 +28,7 @@ from repro.comm.collectives import SimComm
 from repro.comm.faults import RetryPolicy
 from repro.core.sharding import BackwardPrefetch, ShardingStrategy, parse_strategy
 from repro.optim.base import Optimizer
+from repro.precision.bf16 import PRECISIONS
 from repro.telemetry import TelemetryBus
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -85,12 +86,32 @@ class EngineConfig:
         FSDP backward prefetch policy (recorded for the perf model).
     check_replicas:
         Assert replica-group gradient shards agree after all-reduce.
+    precision:
+        ``"fp32"`` (default; the paper's runs) or ``"bf16"`` — emulated
+        bf16 parameters/gradients/collective payloads with
+        full-precision master weights in the optimizer
+        (:mod:`repro.precision`). Logical gradient wire bytes halve.
+    grad_accum_steps:
+        Microbatch rounds per optimizer step; ``train_step`` then takes
+        ``grad_accum_steps * world.size`` microbatches and fires the
+        optimizer once. In fp32 a ``k``-round step is bit-identical to
+        the same global batch on a ``k``-times-larger world (tested).
+    loss_scale / dynamic_loss_scale:
+        Initial loss scale applied to gradients before the bf16 cast,
+        and whether the AMP-style dynamic schedule (back off on
+        non-finite gradients — skipping that step — grow after a clean
+        streak) manages it. Ignored under fp32.
     """
 
     optimizer_factory: OptimizerFactory | None = None
     comm: SimComm | None = None
     retry_policy: RetryPolicy | None = field(default_factory=RetryPolicy)
     telemetry: TelemetryBus | None = None
+    # Mixed precision / accumulation (both engine kinds)
+    precision: str = "fp32"
+    grad_accum_steps: int = 1
+    loss_scale: float = 1.0
+    dynamic_loss_scale: bool = False
     # DDP-only
     bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES
     first_bucket_cap_bytes: int | None = 1024 * 1024
@@ -100,6 +121,16 @@ class EngineConfig:
     check_replicas: bool = False
 
     def __post_init__(self) -> None:
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+        if self.grad_accum_steps < 1:
+            raise ValueError(
+                f"grad_accum_steps must be >= 1, got {self.grad_accum_steps}"
+            )
+        if self.loss_scale <= 0:
+            raise ValueError(f"loss_scale must be positive, got {self.loss_scale}")
         if self.bucket_cap_bytes <= 0:
             raise ValueError(
                 f"bucket_cap_bytes must be positive, got {self.bucket_cap_bytes}"

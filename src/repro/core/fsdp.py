@@ -38,6 +38,7 @@ from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World, make_hybrid_mesh
 from repro.core.engine import EngineConfig, warn_deprecated_kwarg
+from repro.core.mixed_precision import MixedPrecisionMixin
 from repro.core.sharding import (
     BackwardPrefetch,
     FlatUnit,
@@ -83,7 +84,7 @@ def _resolve_shard_size(
     raise ValueError(f"unsupported strategy for FSDPEngine: {strategy}")
 
 
-class FSDPEngine:
+class FSDPEngine(MixedPrecisionMixin):
     """Sharded data-parallel training of one model over a simulated world.
 
     Parameters
@@ -178,6 +179,7 @@ class FSDPEngine:
             else AdamW
         )
         self.optimizer = factory(flat_shard_params)
+        self._init_precision()
         self.step_count = 0
 
     # -- properties --------------------------------------------------------
@@ -209,6 +211,7 @@ class FSDPEngine:
         return {
             "model": self.model.state_dict(),
             "optimizer": self.optimizer.state_dict(),
+            "scaler": self.scaler.state_dict(),
             "step_count": self.step_count,
         }
 
@@ -217,6 +220,8 @@ class FSDPEngine:
         architecture and shard count."""
         self.model.load_state_dict(sd["model"])
         self.optimizer.load_state_dict(sd["optimizer"])
+        if "scaler" in sd:
+            self.scaler.load_state_dict(sd["scaler"])
         self.step_count = int(sd["step_count"])
 
     # -- collective phases ---------------------------------------------------
@@ -259,56 +264,129 @@ class FSDPEngine:
             for group in self.mesh.shard_groups:
                 shards = [unit.shard_view(j) for j in range(self.shard_size)]
                 gathered = self._collective(
-                    lambda: self.comm.all_gather(shards, group),
+                    lambda: self.comm.all_gather(
+                        shards, group, wire_dtype=self._wire_dtype
+                    ),
                     op="all_gather",
-                    nbytes=unit.flat.nbytes,
+                    nbytes=self._wire_nbytes(unit.flat.nbytes),
                 )
                 np.copyto(unit.flat, gathered[0])
 
     def _reduce_gradients(
-        self, rank_grads: list[list[np.ndarray]]
+        self, micro_grads: list[list[list[np.ndarray]]]
     ) -> list[list[np.ndarray]]:
-        """Combine per-rank flat gradients into per-unit shard gradients.
+        """Combine per-round per-rank flat gradients into shard gradients.
 
-        ``rank_grads[r][u]`` is rank r's flat gradient of unit u. Returns
-        ``shard_grads[u][j]``: the reduced gradient of shard j of unit u
-        (identical across replica groups).
+        ``micro_grads[j][r][u]`` is accumulation round j, rank r's flat
+        gradient of unit u. Returns ``shard_grads[u][s]``: the reduced
+        gradient of shard s of unit u (identical across replica groups).
+
+        Accumulation structure per strategy (chosen so an fp32 ``k``-round
+        step stays bit-identical to the same global batch on a
+        ``k``-times-larger world — NumPy's axis-0 stack reduction must see
+        the same grouping of contributions):
+
+        - ``NO_SHARD``: one deferred all-reduce over all ``k * W``
+          contributions (``parts_per_rank=k``).
+        - ``FULL_SHARD`` / ``SHARD_GRAD_OP``: one deferred reduce-scatter
+          over all ``k * W`` contributions. The larger world also reduces
+          everything in one stack; only the shard boundaries differ, and
+          the optimizer update is elementwise.
+        - ``HYBRID_SHARD`` with ``k > 1``: per-round reduce-scatters
+          inside each shard group, then per-shard-index all-reduce across
+          replica groups with ``parts_per_rank=k`` — the larger world (at
+          the same shard size) has ``k``-times the replica groups and
+          computes this exact mean-of-round-partials, so a deferred
+          single-stage reduction would *not* match. ``k == 1`` keeps the
+          pre-accumulation call pattern exactly (including skipping stage
+          2 when there is a single replica group).
         """
+        k = len(micro_grads)
         world_group = self.world.world_group()
+        wire = self._wire_dtype
         out: list[list[np.ndarray]] = []
         for u in range(len(self.units)):
             if self.strategy is ShardingStrategy.NO_SHARD:
-                bufs = [rank_grads[r][u] for r in range(self.world.size)]
+                bufs = [
+                    micro_grads[j][r][u]
+                    for j in range(k)
+                    for r in range(self.world.size)
+                ]
                 reduced = self._collective(
-                    lambda: self.comm.all_reduce(bufs, world_group, op="mean"),
+                    lambda: self.comm.all_reduce(
+                        bufs,
+                        world_group,
+                        op="mean",
+                        parts_per_rank=k,
+                        wire_dtype=wire,
+                    ),
                     op="all_reduce",
-                    nbytes=bufs[0].nbytes,
+                    nbytes=self._wire_nbytes(bufs[0].nbytes),
                 )
                 out.append([reduced[0]])
                 continue
-            # Reduce-scatter inside every shard group.
-            per_group: list[list[np.ndarray]] = []
-            for group in self.mesh.shard_groups:
-                bufs = [rank_grads[r][u] for r in group.ranks]
-                per_group.append(
+            if self.strategy is not ShardingStrategy.HYBRID_SHARD:
+                # One shard group spans the world: a single deferred
+                # reduce-scatter over every (round, rank) contribution.
+                group = self.mesh.shard_groups[0]
+                bufs = [
+                    micro_grads[j][r][u]
+                    for j in range(k)
+                    for r in group.ranks
+                ]
+                out.append(
                     self._collective(
-                        lambda: self.comm.reduce_scatter(bufs, group, op="mean"),
+                        lambda: self.comm.reduce_scatter(
+                            bufs,
+                            group,
+                            op="mean",
+                            parts_per_rank=k,
+                            wire_dtype=wire,
+                        ),
                         op="reduce_scatter",
-                        nbytes=bufs[0].nbytes,
+                        nbytes=self._wire_nbytes(bufs[0].nbytes),
                     )
                 )
-            if self.mesh.n_replicas == 1:
-                out.append(per_group[0])
                 continue
-            # HYBRID: all-reduce each shard index across replica groups.
+            # HYBRID: reduce-scatter inside every shard group, per round.
+            per_round: list[list[list[np.ndarray]]] = []
+            for j in range(k):
+                per_group: list[list[np.ndarray]] = []
+                for group in self.mesh.shard_groups:
+                    bufs = [micro_grads[j][r][u] for r in group.ranks]
+                    per_group.append(
+                        self._collective(
+                            lambda: self.comm.reduce_scatter(
+                                bufs, group, op="mean", wire_dtype=wire
+                            ),
+                            op="reduce_scatter",
+                            nbytes=self._wire_nbytes(bufs[0].nbytes),
+                        )
+                    )
+                per_round.append(per_group)
+            if k == 1 and self.mesh.n_replicas == 1:
+                out.append(per_round[0][0])
+                continue
+            # Stage 2: all-reduce each shard index across replica groups,
+            # folding all rounds' partials in (parts_per_rank=k).
             shard_grads: list[np.ndarray] = []
-            for j in range(self.shard_size):
-                replica_group = self.mesh.replica_groups[j]
-                bufs = [per_group[k][j] for k in range(self.mesh.n_replicas)]
+            for s in range(self.shard_size):
+                replica_group = self.mesh.replica_groups[s]
+                bufs = [
+                    per_round[j][g][s]
+                    for j in range(k)
+                    for g in range(self.mesh.n_replicas)
+                ]
                 reduced = self._collective(
-                    lambda: self.comm.all_reduce(bufs, replica_group, op="mean"),
+                    lambda: self.comm.all_reduce(
+                        bufs,
+                        replica_group,
+                        op="mean",
+                        parts_per_rank=k,
+                        wire_dtype=wire,
+                    ),
                     op="all_reduce",
-                    nbytes=bufs[0].nbytes,
+                    nbytes=self._wire_nbytes(bufs[0].nbytes),
                 )
                 if self.check_replicas:
                     for r in reduced[1:]:
@@ -320,44 +398,59 @@ class FSDPEngine:
     # -- the step ------------------------------------------------------------
 
     def train_step(self, micros: Sequence[Any], step_fn: StepFn) -> float:
-        """One optimizer step over ``world.size`` microbatches.
+        """One optimizer step over ``grad_accum_steps * world.size`` micros.
 
         ``step_fn(model, micro)`` must run forward *and* backward for one
         microbatch (accumulating into the model's gradients) and return
-        the scalar loss. Returns the mean loss across ranks.
+        the scalar loss. Microbatches are consumed round-major (round 0's
+        per-rank micros, then round 1's, ...); the optimizer fires once
+        per call. Returns the mean loss across all microbatches. Under
+        bf16, inputs and outbound gradients are rounded onto the bf16
+        grid and reductions book half the wire bytes.
         """
-        if len(micros) != self.world.size:
-            raise ValueError(
-                f"need {self.world.size} microbatches (one per rank), "
-                f"got {len(micros)}"
-            )
+        self._check_micros(micros)
+        k = self.grad_accum_steps
         bus = self.telemetry
         bus.set_step(self.step_count)
-        # Forward parameter materialization.
-        self._issue_param_allgathers()
+        self._emit_precision_gauges()
 
-        # Per-rank forward/backward.
+        # Per-round materialization + per-rank forward/backward.
         losses = []
-        rank_grads: list[list[np.ndarray]] = []
+        # micro_grads[j][r][u]: round j, rank r's flat gradient of unit u,
+        # already loss-scaled/quantized for the wire.
+        micro_grads: list[list[list[np.ndarray]]] = []
         try:
-            with bus.span("compute.fwd_bwd"):
-                for r in range(self.world.size):
-                    for u in self.units:
-                        u.zero_grad()
-                    losses.append(float(step_fn(self.model, micros[r])))
-                    rank_grads.append([u.read_grad() for u in self.units])
+            for j in range(k):
+                # Forward parameter materialization (every round: FSDP
+                # re-gathers parameters per microbatch even when the
+                # gradient sync is deferred).
+                self._issue_param_allgathers()
+                with bus.span("compute.fwd_bwd"):
+                    per_rank: list[list[np.ndarray]] = []
+                    for r in range(self.world.size):
+                        for u in self.units:
+                            u.zero_grad()
+                        micro = self._cast_micro(micros[j * self.world.size + r])
+                        losses.append(float(step_fn(self.model, micro)))
+                        per_rank.append(
+                            [
+                                self._outbound_grad(u.read_grad(), owned=True)
+                                for u in self.units
+                            ]
+                        )
+                    micro_grads.append(per_rank)
+                # FULL_SHARD re-gathers parameters during backward.
+                if self.strategy is ShardingStrategy.FULL_SHARD:
+                    self._issue_param_allgathers()
         except Exception:
             # Don't pin a model's worth of activations when a microbatch
-            # fails mid-step (same cleanup contract as DDPEngine).
+            # (or a materialization collective) fails mid-step — same
+            # cleanup contract as DDPEngine.
             self.model.release_caches()
             raise
 
         try:
-            # FULL_SHARD re-gathers parameters during backward.
-            if self.strategy is ShardingStrategy.FULL_SHARD:
-                self._issue_param_allgathers()
-
-            shard_grads = self._reduce_gradients(rank_grads)
+            shard_grads = self._reduce_gradients(micro_grads)
         except CollectiveError:
             # Retry budget exhausted mid-collective-phase: extend the
             # failed-step cleanup to the comm path too, so re-driving the
@@ -365,11 +458,15 @@ class FSDPEngine:
             self.model.release_caches()
             raise
 
+        flat = [g for unit_grads in shard_grads for g in unit_grads]
+        apply_update = self._grad_postprocess(flat)
+
         # Optimizer on the flat shards (views -> model updated in place).
-        with bus.span("optim.step"):
-            for u, shards in enumerate(self._shards):
-                for j, shard in enumerate(shards):
-                    shard.grad[...] = shard_grads[u][j]
-            self.optimizer.step()
+        if apply_update:
+            with bus.span("optim.step"):
+                for u, shards in enumerate(self._shards):
+                    for s, shard in enumerate(shards):
+                        shard.grad[...] = shard_grads[u][s]
+                self.optimizer.step()
         self.step_count += 1
         return float(np.mean(losses))

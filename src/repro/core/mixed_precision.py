@@ -1,0 +1,153 @@
+"""Shared mixed-precision / gradient-accumulation plumbing for engines.
+
+Both :class:`~repro.core.ddp.DDPEngine` and
+:class:`~repro.core.fsdp.FSDPEngine` honor
+``EngineConfig(precision=..., grad_accum_steps=..., loss_scale=...)``
+through this mixin. The emulation contract, in step order:
+
+1. **Inputs** of every microbatch are rounded onto the bf16 grid
+   (:func:`~repro.precision.bf16_round`) before the forward — the cast
+   point real mixed-precision autocast applies at the model boundary.
+2. **Outbound gradients** (what a rank contributes to the collective)
+   are loss-scaled and rounded to bf16: reduction payloads carry only
+   bf16 information, and the collective layer books half the wire bytes
+   (``wire_dtype="bf16"``).
+3. **Reduced gradients** are unscaled in full precision; under a
+   dynamic scaler a non-finite gradient skips the optimizer step and
+   backs the scale off.
+4. **Master weights** in the optimizer apply the update at full
+   precision and re-quantize the working parameters
+   (:meth:`~repro.optim.base.Optimizer.use_master_weights`).
+
+Accumulation composes with this by blocking ``micros`` into
+``grad_accum_steps`` rounds of ``world.size`` microbatches; the
+engines hand all rounds' contributions to one collective call
+(``parts_per_rank``), which keeps fp32 ``k``-round training
+bit-identical to the same global batch on a ``k``-times-larger world.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.precision.bf16 import bf16_round, wire_fraction
+from repro.precision.scaler import LossScaler
+
+__all__ = ["MixedPrecisionMixin"]
+
+
+class MixedPrecisionMixin:
+    """Precision/accumulation behavior shared by the training engines.
+
+    Host classes must set ``self.config`` (an
+    :class:`~repro.core.engine.EngineConfig`), ``self.world``,
+    ``self.optimizer`` and ``self.telemetry`` before calling
+    :meth:`_init_precision`.
+    """
+
+    def _init_precision(self) -> None:
+        """Resolve precision fields from the config; attach masters."""
+        cfg = self.config
+        self.precision: str = cfg.precision
+        self.grad_accum_steps: int = cfg.grad_accum_steps
+        self.scaler = LossScaler(
+            init_scale=cfg.loss_scale, dynamic=cfg.dynamic_loss_scale
+        )
+        if self.precision == "bf16":
+            self._wire_dtype: str | None = "bf16"
+            self.optimizer.use_master_weights(quantize=bf16_round)
+        else:
+            self._wire_dtype = None
+
+    # -- sizing ------------------------------------------------------------
+
+    def _microbatch_count(self) -> int:
+        """Microbatches one ``train_step`` consumes (rounds x ranks)."""
+        return self.grad_accum_steps * self.world.size
+
+    def _check_micros(self, micros) -> None:
+        """Validate the ``train_step`` microbatch count."""
+        need = self._microbatch_count()
+        if len(micros) != need:
+            raise ValueError(
+                f"need {need} microbatches ({self.grad_accum_steps} "
+                f"accumulation round(s) x {self.world.size} rank(s)), "
+                f"got {len(micros)}"
+            )
+
+    def _wire_nbytes(self, nbytes: float) -> float:
+        """Logical payload bytes of a native buffer at the wire dtype."""
+        if self._wire_dtype is None:
+            return float(nbytes)
+        return nbytes * wire_fraction(self._wire_dtype)
+
+    # -- cast points ---------------------------------------------------------
+
+    def _cast_micro(self, micro: Any) -> Any:
+        """Round a microbatch's floating arrays onto the bf16 grid.
+
+        Microbatches are opaque to the engine except for this cast:
+        bare arrays and (nested) tuples/lists of arrays are handled;
+        non-float leaves pass through untouched.
+        """
+        if self.precision != "bf16":
+            return micro
+        return _cast_tree(micro)
+
+    def _outbound_grad(self, g: np.ndarray, owned: bool = False) -> np.ndarray:
+        """One rank's gradient contribution as it enters the collective.
+
+        Under bf16 this is where the loss scale is applied and the
+        payload drops to bf16 resolution. ``owned=True`` marks a buffer
+        the caller already copied (skips the defensive fp32 copy).
+        """
+        if self.precision != "bf16":
+            return g if owned else g.copy()
+        if self.scaler.scale != 1.0:
+            return bf16_round(g * self.scaler.scale)
+        return bf16_round(g)
+
+    # -- post-reduction ------------------------------------------------------
+
+    def _grad_postprocess(self, reduced: list[np.ndarray]) -> bool:
+        """Unscale reduced gradients in place; decide whether to step.
+
+        Returns False — and advances the dynamic scaler's backoff —
+        when a non-finite gradient means this optimizer step must be
+        skipped. On the fp32 default path this touches nothing.
+        """
+        if self.precision != "bf16" and not self.scaler.enabled:
+            return True
+        s = self.scaler.scale
+        if s != 1.0:
+            for a in reduced:
+                np.divide(a, s, out=a)
+        if not self.scaler.dynamic:
+            return True
+        found_inf = any(not np.isfinite(a).all() for a in reduced)
+        self.scaler.update(found_inf)
+        if found_inf and self.telemetry.enabled:
+            self.telemetry.counter("precision.skipped_steps", 1)
+        return not found_inf
+
+    # -- observability -------------------------------------------------------
+
+    def _emit_precision_gauges(self) -> None:
+        """Publish per-step precision/accumulation gauges (non-default runs)."""
+        bus = self.telemetry
+        if not bus.enabled:
+            return
+        if self.grad_accum_steps > 1:
+            bus.gauge("train.grad_accum_steps", float(self.grad_accum_steps))
+        if self.precision != "fp32" or self.scaler.enabled:
+            bus.gauge("precision.loss_scale", self.scaler.scale)
+
+
+def _cast_tree(micro: Any) -> Any:
+    if isinstance(micro, np.ndarray):
+        return bf16_round(micro) if micro.dtype.kind == "f" else micro
+    if isinstance(micro, (tuple, list)):
+        return type(micro)(_cast_tree(m) for m in micro)
+    return micro

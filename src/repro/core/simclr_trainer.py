@@ -57,12 +57,13 @@ class SimCLRPretrainer(CheckpointingTrainer):
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
-        if global_batch % engine.world.size != 0:
+        n_micros = engine.world.size * getattr(engine, "grad_accum_steps", 1)
+        if global_batch % n_micros != 0:
             raise ValueError(
-                f"global batch {global_batch} not divisible by "
-                f"world {engine.world.size}"
+                f"global batch {global_batch} not divisible by world size x "
+                f"grad_accum_steps = {n_micros}"
             )
-        if global_batch // engine.world.size < 2:
+        if global_batch // n_micros < 2:
             raise ValueError(
                 "contrastive training needs >= 2 samples per rank "
                 "(in-batch negatives)"
@@ -108,8 +109,10 @@ class SimCLRPretrainer(CheckpointingTrainer):
                 total_steps=start_step + n_steps,
                 warmup_steps=max(1, (start_step + n_steps) // 10),
             )
-        world_size = self.engine.world.size
-        micro = self.global_batch // world_size
+        # One micro slot per (accumulation round, rank), round-major —
+        # same convention as MAEPretrainer.
+        n_micros = self.engine.world.size * getattr(self.engine, "grad_accum_steps", 1)
+        micro = self.global_batch // n_micros
         result = TrainResult(steps_per_epoch=self.steps_per_epoch)
         order = self._epoch_order(start_step // self.steps_per_epoch)
         for step in range(start_step, start_step + n_steps):
@@ -120,9 +123,9 @@ class SimCLRPretrainer(CheckpointingTrainer):
             imgs = self.images[idx]
             view_a, view_b = self._views(imgs, step)
             micros = [
-                (view_a[r * micro : (r + 1) * micro],
-                 view_b[r * micro : (r + 1) * micro])
-                for r in range(world_size)
+                (view_a[m * micro : (m + 1) * micro],
+                 view_b[m * micro : (m + 1) * micro])
+                for m in range(n_micros)
             ]
             self.engine.lr = schedule(step)
             t0 = perf_counter()

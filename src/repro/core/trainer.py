@@ -233,10 +233,11 @@ class MAEPretrainer(CheckpointingTrainer):
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
-        world_size = engine.world.size
-        if global_batch % world_size != 0:
+        n_micros = engine.world.size * getattr(engine, "grad_accum_steps", 1)
+        if global_batch % n_micros != 0:
             raise ValueError(
-                f"global batch {global_batch} not divisible by world {world_size}"
+                f"global batch {global_batch} not divisible by world size x "
+                f"grad_accum_steps = {n_micros}"
             )
         if global_batch > len(images):
             raise ValueError(
@@ -288,8 +289,11 @@ class MAEPretrainer(CheckpointingTrainer):
                 total_steps=start_step + n_steps,
                 warmup_steps=max(1, (start_step + n_steps) // 10),
             )
-        world_size = self.engine.world.size
-        micro = self.global_batch // world_size
+        # One micro slot per (accumulation round, rank), round-major — the
+        # same slicing a k-times-larger world would use rank-major, which
+        # is what keeps fp32 accumulation bit-identical across layouts.
+        n_micros = self.engine.world.size * getattr(self.engine, "grad_accum_steps", 1)
+        micro = self.global_batch // n_micros
         result = TrainResult(steps_per_epoch=self.steps_per_epoch)
         order = self._epoch_order(start_step // self.steps_per_epoch)
         for step in range(start_step, start_step + n_steps):
@@ -300,8 +304,8 @@ class MAEPretrainer(CheckpointingTrainer):
             imgs = self.images[idx]
             noise = self._step_noise(step, self.global_batch, n_patches)
             micros = [
-                (imgs[r * micro : (r + 1) * micro], noise[r * micro : (r + 1) * micro])
-                for r in range(world_size)
+                (imgs[m * micro : (m + 1) * micro], noise[m * micro : (m + 1) * micro])
+                for m in range(n_micros)
             ]
             self.engine.lr = schedule(step)
             t0 = perf_counter()

@@ -1,9 +1,18 @@
 """Rank-sharded sampling (the analogue of ``DistributedSampler``).
 
-Every rank sees a disjoint, equally-sized slice of each epoch's
-permutation; the permutation depends only on (seed, epoch), so the union
-over ranks is exactly the single-process epoch — which keeps distributed
-training equivalent to the single-process reference.
+Every rank sees a disjoint, equally-sized *strided* slice of each epoch's
+permutation (rank r takes positions ``r, r + W, r + 2W, ...`` — the same
+convention as PyTorch's ``DistributedSampler``); the permutation depends
+only on (seed, epoch), so the union over ranks is exactly the
+single-process epoch — which keeps distributed training equivalent to the
+single-process reference.
+
+When ``n_items`` does not divide by the world size, ``drop_last=True``
+truncates the permutation to the largest multiple (some samples are
+skipped that epoch) while ``drop_last=False`` pads it by wrapping around
+to the front of the permutation (some samples repeat), again matching
+``DistributedSampler``. Either way every rank draws the same per-epoch
+count, so lockstep collectives never see ragged batches.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ __all__ = ["DistributedSampler"]
 
 class DistributedSampler:
     """Deterministic rank-sharded epoch sampler (see module docstring)."""
+
     def __init__(
         self,
         n_items: int,
@@ -27,20 +37,31 @@ class DistributedSampler:
             raise ValueError(f"n_items must be positive, got {n_items}")
         if not 0 <= rank < world_size:
             raise ValueError(f"rank {rank} out of range for world {world_size}")
-        if not drop_last and n_items % world_size != 0:
-            raise NotImplementedError(
-                "padding mode is not implemented; use drop_last=True"
-            )
         self.n_items = n_items
         self.world_size = world_size
         self.rank = rank
         self.seed = seed
-        self.per_rank = n_items // world_size
+        self.drop_last = drop_last
+        if drop_last:
+            self.per_rank = n_items // world_size
+        else:
+            self.per_rank = -(-n_items // world_size)
 
     def epoch_indices(self, epoch: int) -> np.ndarray:
-        """This rank's indices for ``epoch`` (contiguous slice of the perm)."""
+        """This rank's indices for ``epoch`` (strided slice of the perm).
+
+        ``drop_last=True`` truncates the permutation to ``per_rank * W``
+        entries; ``drop_last=False`` wraps it around to that length
+        instead, so the union over ranks covers every item at least once
+        and all ranks stay the same size.
+        """
         rng = np.random.Generator(
             np.random.PCG64(np.random.SeedSequence([self.seed, 31337, epoch]))
         )
-        perm = rng.permutation(self.n_items)[: self.per_rank * self.world_size]
+        perm = rng.permutation(self.n_items)
+        total = self.per_rank * self.world_size
+        if self.drop_last:
+            perm = perm[:total]
+        elif total > self.n_items:
+            perm = np.concatenate([perm, perm[: total - self.n_items]])
         return perm[self.rank :: self.world_size]

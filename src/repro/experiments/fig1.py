@@ -60,6 +60,18 @@ class Fig1Result:
             "ideal": self.series.ideal_ips(),
         }
 
+    def memory_per_gcd(self) -> list[float]:
+        """Modeled per-GCD memory footprint (GiB) at each node count.
+
+        Weak scaling at NO_SHARD keeps the footprint flat — nothing is
+        sharded — which is why the paper's larger models need the
+        sharded strategies (and, at the margin, bf16's thinner
+        activations) to fit at all.
+        """
+        from repro.utils.units import GIB
+
+        return [p.breakdown.memory.total / GIB for p in self.series.points]
+
     def comm_fractions(self) -> list[float]:
         """Exposed-communication share per node count.
 
@@ -111,7 +123,12 @@ def render_fig1(result: Fig1Result | None = None) -> str:
         f"{n}n={100 * f:.1f}%"
         for n, f in zip(result.node_counts, result.comm_fractions())
     )
+    mem = ", ".join(
+        f"{n}n={m:.1f}GiB"
+        for n, m in zip(result.node_counts, result.memory_per_gcd())
+    )
     return (
         f"{body}\n\n{chart}\n\ncommunication share of step: {comm}\n"
-        "(paper: ~22% at 64 nodes)"
+        "(paper: ~22% at 64 nodes)\n"
+        f"memory footprint per GCD: {mem}"
     )

@@ -23,6 +23,7 @@ from repro.experiments.report import render_table
 from repro.hardware.frontier import frontier_machine
 from repro.perf.simulator import PerfParams, TrainStepSimulator
 from repro.telemetry import RecordingSink, TelemetryBus, comm_share_from_events
+from repro.utils.units import GIB
 
 __all__ = ["Fig2Point", "run_fig2", "render_fig2"]
 
@@ -32,13 +33,20 @@ N_NODES = 8
 
 @dataclass(frozen=True)
 class Fig2Point:
-    """One strategy x prefetch x limit_all_gathers configuration."""
+    """One strategy x prefetch x limit_all_gathers configuration.
+
+    ``mem_gib`` is the modeled per-GCD footprint — constant across
+    prefetch/limit variants of one strategy, but load-bearing between
+    strategies (the paper picks HYBRID_2GPUs for the ViT-5B precisely
+    because of this column).
+    """
 
     strategy: str
     prefetch: BackwardPrefetch
     limit_all_gathers: bool
     ips: float
     comm_share: float = 0.0
+    mem_gib: float = 0.0
 
 
 def run_fig2(n_nodes: int = N_NODES) -> list[Fig2Point]:
@@ -78,6 +86,7 @@ def run_fig2(n_nodes: int = N_NODES) -> list[Fig2Point]:
                         comm_share=comm_share_from_events(
                             bus.sink.events, **attrs
                         ),
+                        mem_gib=breakdown.memory.total / GIB,
                     )
                 )
     return points
@@ -97,7 +106,10 @@ def render_fig2(points: list[Fig2Point] | None = None) -> str:
     """Render Fig. 2 as a text table plus the best configuration."""
     points = points if points is not None else run_fig2()
     body = render_table(
-        headers=["strategy", "prefetch", "limit_all_gathers", "ips", "comm %"],
+        headers=[
+            "strategy", "prefetch", "limit_all_gathers", "ips", "comm %",
+            "mem GiB",
+        ],
         rows=[
             [
                 p.strategy,
@@ -105,6 +117,7 @@ def render_fig2(points: list[Fig2Point] | None = None) -> str:
                 str(p.limit_all_gathers),
                 round(p.ips, 1),
                 round(100 * p.comm_share, 1),
+                round(p.mem_gib, 1),
             ]
             for p in points
         ],

@@ -38,5 +38,5 @@ def sincos_2d(dim: int, grid: int, cls_token: bool = True) -> np.ndarray:
     emb_w = sincos_1d(dim // 2, gx)
     emb = np.concatenate([emb_h, emb_w], axis=1)
     if cls_token:
-        emb = np.concatenate([np.zeros((1, dim)), emb], axis=0)
+        emb = np.concatenate([np.zeros((1, dim), dtype=np.float64), emb], axis=0)
     return emb

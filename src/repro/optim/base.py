@@ -1,8 +1,18 @@
-"""Optimizer base class."""
+"""Optimizer base class.
+
+Mixed precision: :meth:`Optimizer.use_master_weights` attaches a
+full-precision master copy per parameter slot. Each :meth:`step` then
+runs the subclass update on the master values (restored into ``p.data``
+in place — flat-shard views stay valid), saves the result back into the
+master, and re-quantizes ``p.data`` onto the reduced-precision grid.
+This is the standard bf16-params / fp32-master-and-moments recipe, and
+it is what keeps long bf16 trajectories from stalling on update sizes
+below one bf16 ulp.
+"""
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -37,41 +47,86 @@ class Optimizer:
         self.lr = lr
         self.t = 0
         self.state: list[dict[str, np.ndarray]] = [dict() for _ in params]
+        self.master: list[np.ndarray] | None = None
+        self._quantize: Callable[[np.ndarray], np.ndarray] | None = None
 
     def zero_grad(self) -> None:
         """Zero every parameter gradient."""
         for p in self.params:
             p.grad[...] = 0.0
 
+    def use_master_weights(
+        self, quantize: Callable[[np.ndarray], np.ndarray] | None = None
+    ) -> None:
+        """Attach full-precision master copies of every parameter.
+
+        ``quantize`` (e.g. :func:`repro.precision.bf16_round`) is applied
+        to ``p.data`` after every update — and once right here, so the
+        working parameters start on the reduced-precision grid while the
+        masters keep the exact initialization. ``p.data`` is only ever
+        mutated in place (``p.data[...] = ...``): FSDP flat-shard views
+        must keep aliasing their unit's flat buffer.
+        """
+        self.master = [p.data.copy() for p in self.params]
+        self._quantize = quantize
+        if quantize is not None:
+            for p in self.params:
+                p.data[...] = quantize(p.data)
+
     def step(self) -> None:
-        """Apply one update to every parameter slot."""
+        """Apply one update to every parameter slot.
+
+        With master weights attached, the update runs on (and persists
+        to) the master values; the working parameter receives the
+        re-quantized result.
+        """
         self.t += 1
+        if self.master is None:
+            for i, p in enumerate(self.params):
+                self._update(p, self.state[i])
+            return
         for i, p in enumerate(self.params):
+            p.data[...] = self.master[i]
             self._update(p, self.state[i])
+            self.master[i][...] = p.data
+            if self._quantize is not None:
+                p.data[...] = self._quantize(p.data)
 
     def _update(self, p: ParamLike, state: dict[str, np.ndarray]) -> None:
         raise NotImplementedError
 
     def state_bytes(self) -> int:
-        """Total bytes of optimizer state (for memory-model validation)."""
-        return sum(
+        """Total bytes of optimizer state (for memory-model validation).
+
+        Master weights, when attached, are optimizer state too — they
+        are exactly the fp32 shard ZeRO's accounting charges to the
+        optimizer in mixed precision.
+        """
+        slot_bytes = sum(
             arr.nbytes for slot in self.state for arr in slot.values()
         )
+        if self.master is not None:
+            slot_bytes += sum(m.nbytes for m in self.master)
+        return slot_bytes
 
     # -- checkpointing -----------------------------------------------------
 
     def state_dict(self) -> dict:
-        """Serializable snapshot: step count, lr, and per-slot arrays."""
-        return {
+        """Serializable snapshot: step count, lr, per-slot arrays, and —
+        when master weights are attached — the master copies."""
+        sd = {
             "t": self.t,
             "lr": self.lr,
             "slots": [
                 {k: v.copy() for k, v in slot.items()} for slot in self.state
             ],
         }
+        if self.master is not None:
+            sd["master"] = [m.copy() for m in self.master]
+        return sd
 
     def load_state_dict(self, sd: dict) -> None:
-        """Restore a snapshot (parameter layout must match)."""
+        """Restore a snapshot (parameter layout and precision must match)."""
         slots = sd["slots"]
         if len(slots) != len(self.params):
             raise ValueError(
@@ -93,5 +148,31 @@ class Optimizer:
                         f"slot {i}[{k}]: dtype {v.dtype} != param {p.data.dtype}"
                     )
             self.state[i] = {k: np.array(v) for k, v in slot.items()}
+        if self.master is not None:
+            if "master" not in sd:
+                raise ValueError(
+                    "optimizer has master weights but the checkpoint has "
+                    "none (was it saved from a full-precision run?)"
+                )
+            masters = sd["master"]
+            if len(masters) != len(self.params):
+                raise ValueError(
+                    f"checkpoint has {len(masters)} master weights, "
+                    f"optimizer has {len(self.params)} parameters"
+                )
+            for i, (m, p) in enumerate(zip(masters, self.params)):
+                m = np.asarray(m)
+                if m.shape != p.data.shape or m.dtype != p.data.dtype:
+                    # Masters must round-trip bit-exactly, like moments.
+                    raise ValueError(
+                        f"master {i}: {m.dtype}{m.shape} != param "
+                        f"{p.data.dtype}{p.data.shape}"
+                    )
+                self.master[i] = np.array(m)
+        elif "master" in sd:
+            raise ValueError(
+                "checkpoint carries master weights but the optimizer has "
+                "none (construct the engine with precision='bf16')"
+            )
         self.t = int(sd["t"])
         self.lr = float(sd["lr"])

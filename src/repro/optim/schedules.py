@@ -43,6 +43,10 @@ class CosineWithWarmup:
         if self.warmup_steps and step < self.warmup_steps:
             return self.base_lr * (step + 1) / self.warmup_steps
         span = max(1, self.total_steps - self.warmup_steps)
-        progress = min(1.0, (step - self.warmup_steps) / span)
+        # Warmup already reaches base_lr at step warmup_steps - 1, so the
+        # decay phase starts one step in — otherwise the peak is held for
+        # two consecutive steps.
+        offset = 1 if self.warmup_steps else 0
+        progress = min(1.0, (step - self.warmup_steps + offset) / span)
         cos = 0.5 * (1.0 + np.cos(np.pi * progress))
         return self.min_lr + (self.base_lr - self.min_lr) * cos

@@ -1,11 +1,15 @@
-"""Per-GPU resident-memory model, by sharding strategy.
+"""Per-GPU resident-memory model, by sharding strategy and precision.
 
 Using ZeRO's nomenclature, the *model states* of ``P`` fp32 parameters
 under AdamW are ``16 P`` bytes: parameters (4P), gradients (4P), and the
-two Adam moments (8P). Strategies shard different subsets:
+two Adam moments (8P). Under emulated bf16 mixed precision the total is
+the same ``16 P`` but the split moves: bf16 parameters (2P) and
+gradients (2P) ride next to the fp32 master weights (4P) and moments
+(8P) — which is why mixed precision alone does not shrink model states,
+only activations and wire traffic. Strategies shard different subsets:
 
 ===================  ===============================================
-strategy             resident model-state bytes per GPU
+strategy             resident model-state bytes per GPU (fp32)
 ===================  ===============================================
 NO_SHARD / DDP       ``16 P``
 HYBRID(s)            ``16 P / s``
@@ -13,13 +17,23 @@ FULL_SHARD (world W) ``16 P / W`` plus transiently-gathered units
 SHARD_GRAD_OP        ``4 P`` (full params) + ``12 P / W``
 ===================  ===============================================
 
+Under bf16 the parameter term uses 2 bytes/param (so e.g. SHARD_GRAD_OP
+becomes ``2 P + 14 P / W``); the per-dtype split is reported in
+:attr:`MemoryBreakdown.by_dtype`.
+
 Transient: strategies that reshard keep ~2 units materialized at a time
-(current + prefetched), each costing params (+ grads in backward).
+(current + prefetched), each costing params (+ grads in backward) at the
+*working* parameter width — these buffers halve under bf16.
 
 Activations follow the paper's evident configuration (a 3B model plus
 activations fits in 64 GB only with activation checkpointing): stored
-block inputs ``B*N*W*4`` per block plus one block's live intermediates
-``B*N*(12W + H*N)*4``.
+block inputs ``B*N*W*b`` per block plus one block's live intermediates
+``B*N*(12W + H*N)*b``, at ``b`` bytes per activation value (4 fp32,
+2 bf16).
+
+Gradient accumulation (``grad_accum_steps > 1``) adds one unsharded fp32
+accumulation buffer (4P): contributions are summed at full precision
+between optimizer steps regardless of the wire dtype.
 
 The same accounting, applied to the executable engines at proxy scale, is
 validated against actually-allocated NumPy bytes in the test suite.
@@ -27,11 +41,12 @@ validated against actually-allocated NumPy bytes in the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import MAEConfig, ViTConfig, count_mae_params, count_vit_params
 from repro.core.sharding import ShardingStrategy
 from repro.perf.compute_model import BYTES_PER_PARAM
+from repro.precision.bf16 import DTYPE_BYTES, PRECISIONS
 
 __all__ = ["MemoryBreakdown", "memory_breakdown", "activation_bytes"]
 
@@ -47,7 +62,12 @@ class MemoryBreakdown:
 
     ``allocator_overhead`` is the caching-allocator slack (fragmentation
     and reserved-but-unused blocks) that rocm-smi-style measurements
-    include; it scales with the dynamic categories.
+    include; it scales with the dynamic categories. ``grad_accum`` is the
+    unsharded fp32 gradient-accumulation buffer (zero when
+    ``grad_accum_steps == 1``). ``by_dtype`` splits the attributable
+    categories (model states, transient, activations, grad accumulation)
+    per dtype label — the footprint view mixed-precision sizing decisions
+    key off.
     """
 
     model_states: float
@@ -55,6 +75,8 @@ class MemoryBreakdown:
     activations: float
     workspace: float
     allocator_overhead: float = 0.0
+    grad_accum: float = 0.0
+    by_dtype: dict = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -65,6 +87,7 @@ class MemoryBreakdown:
             + self.activations
             + self.workspace
             + self.allocator_overhead
+            + self.grad_accum
         )
 
 
@@ -75,11 +98,16 @@ def activation_bytes(
     seq: int,
     local_batch: int,
     checkpointing: bool = True,
+    bytes_per_value: float = BYTES_PER_PARAM,
 ) -> float:
-    """Activation memory of a transformer stack for one microbatch."""
-    per_token = BYTES_PER_PARAM * width
+    """Activation memory of a transformer stack for one microbatch.
+
+    ``bytes_per_value`` is the stored-activation width: 4 at fp32, 2
+    under bf16 (activations are kept at the working precision).
+    """
+    per_token = bytes_per_value * width
     block_inputs = local_batch * seq * per_token * depth
-    live_block = local_batch * seq * BYTES_PER_PARAM * (12 * width + heads * seq)
+    live_block = local_batch * seq * bytes_per_value * (12 * width + heads * seq)
     if checkpointing:
         return block_inputs + live_block
     # Without checkpointing every block keeps its intermediates.
@@ -106,6 +134,27 @@ def _workload_dims(model: ViTConfig | MAEConfig):
     return total, stacks, max_block
 
 
+def _state_components(precision: str) -> list[tuple[str, float, str]]:
+    """(component, bytes per param, dtype label) of the model states.
+
+    fp32: params/grads/moments all fp32 (4+4+8 = 16 bytes/param).
+    bf16: bf16 params and grads next to fp32 masters and moments
+    (2+2+4+8 = 16 bytes/param — same total, different split).
+    """
+    if precision == "fp32":
+        return [
+            ("params", 4.0, "fp32"),
+            ("grads", 4.0, "fp32"),
+            ("optim", 8.0, "fp32"),
+        ]
+    return [
+        ("params", 2.0, "bf16"),
+        ("grads", 2.0, "bf16"),
+        ("master", 4.0, "fp32"),
+        ("optim", 8.0, "fp32"),
+    ]
+
+
 def memory_breakdown(
     model: ViTConfig | MAEConfig,
     strategy: ShardingStrategy,
@@ -115,48 +164,77 @@ def memory_breakdown(
     checkpointing: bool = True,
     workspace_bytes: float = 1.0e9,
     allocator_overhead_frac: float = 0.18,
+    precision: str = "fp32",
+    grad_accum_steps: int = 1,
 ) -> MemoryBreakdown:
     """Per-GPU memory for a training step of ``model`` under ``strategy``.
 
     ``shard_size`` is required for HYBRID_SHARD; NO_SHARD/DDP imply 1 and
-    FULL_SHARD / SHARD_GRAD_OP imply the world size.
+    FULL_SHARD / SHARD_GRAD_OP imply the world size. ``precision`` moves
+    the model-state split (see :func:`_state_components`) and halves
+    transient and activation widths; ``grad_accum_steps > 1`` adds the
+    unsharded fp32 accumulation buffer.
     """
     if world_size < 1:
         raise ValueError(f"world_size must be >= 1, got {world_size}")
+    if precision not in PRECISIONS:
+        raise ValueError(f"precision must be one of {PRECISIONS}, got {precision!r}")
+    if grad_accum_steps < 1:
+        raise ValueError(f"grad_accum_steps must be >= 1, got {grad_accum_steps}")
     total_params, stacks, max_block_params = _workload_dims(model)
-    state_bytes = total_params * BYTES_PER_PARAM * MODEL_STATE_MULTIPLIER
+    param_width = float(DTYPE_BYTES["bf16" if precision == "bf16" else "fp32"])
 
+    # Sharding divisors: parameters vs everything else (grads, masters,
+    # moments). SHARD_GRAD_OP is the only strategy where they differ.
     if strategy in (ShardingStrategy.NO_SHARD, ShardingStrategy.DDP):
-        states = state_bytes
-        transient = 0.0
+        param_div, other_div = 1.0, 1.0
+        transient_components = 0
     elif strategy is ShardingStrategy.FULL_SHARD:
-        states = state_bytes / world_size
-        # params + grads of the materialized units.
-        transient = TRANSIENT_UNITS * max_block_params * BYTES_PER_PARAM * 2
+        param_div = other_div = float(world_size)
+        transient_components = 2  # params + grads of materialized units
     elif strategy is ShardingStrategy.SHARD_GRAD_OP:
-        # Params stay resident; grads + optimizer states are sharded.
-        states = total_params * BYTES_PER_PARAM * (1 + 3 / world_size)
-        transient = TRANSIENT_UNITS * max_block_params * BYTES_PER_PARAM
+        param_div, other_div = 1.0, float(world_size)
+        transient_components = 1  # params stay resident; grads reshard
     elif strategy is ShardingStrategy.HYBRID_SHARD:
         if shard_size is None or shard_size < 1:
             raise ValueError("HYBRID_SHARD needs a positive shard_size")
-        states = state_bytes / shard_size
-        transient = (
-            0.0
-            if shard_size == 1
-            else TRANSIENT_UNITS * max_block_params * BYTES_PER_PARAM * 2
-        )
+        param_div = other_div = float(shard_size)
+        transient_components = 0 if shard_size == 1 else 2
     else:
         raise ValueError(f"unknown strategy {strategy}")
 
+    by_dtype: dict[str, float] = {}
+    states = 0.0
+    for name, bytes_per_param, dtype in _state_components(precision):
+        div = param_div if name == "params" else other_div
+        contrib = total_params * bytes_per_param / div
+        states += contrib
+        by_dtype[dtype] = by_dtype.get(dtype, 0.0) + contrib
+
+    transient = TRANSIENT_UNITS * max_block_params * param_width * transient_components
+    if transient:
+        by_dtype[precision] = by_dtype.get(precision, 0.0) + transient
+
+    act_width = float(DTYPE_BYTES["bf16"]) if precision == "bf16" else BYTES_PER_PARAM
     acts = sum(
-        activation_bytes(w, d, h, s, local_batch, checkpointing)
+        activation_bytes(w, d, h, s, local_batch, checkpointing, act_width)
         for (w, d, h, s) in stacks
     )
+    by_dtype[precision] = by_dtype.get(precision, 0.0) + acts
+
+    # Accumulated gradients are combined at full precision between
+    # optimizer steps, whatever the wire/working dtype.
+    grad_accum = 0.0 if grad_accum_steps == 1 else total_params * 4.0
+    if grad_accum:
+        by_dtype["fp32"] = by_dtype.get("fp32", 0.0) + grad_accum
+
     return MemoryBreakdown(
         model_states=states,
         transient=transient,
         activations=acts,
         workspace=workspace_bytes,
-        allocator_overhead=allocator_overhead_frac * (states + transient + acts),
+        allocator_overhead=allocator_overhead_frac
+        * (states + transient + acts + grad_accum),
+        grad_accum=grad_accum,
+        by_dtype=by_dtype,
     )

@@ -90,6 +90,12 @@ class ScheduleParams:
     #: Seconds of optimizer compute appended at the end of the step
     #: (set by the simulator from the sharded state size).
     optimizer_seconds: float = 0.0
+    #: On-wire dtype of parameter gathers and gradient reductions
+    #: ("fp32" or "bf16"; bf16 halves every collective payload while the
+    #: latency/launch terms stay put — small collectives stay
+    #: launch-bound, matching why bf16 helps bandwidth-bound strategies
+    #: most).
+    wire_dtype: str = "fp32"
 
 
 @dataclass
@@ -239,7 +245,10 @@ def build_step_schedule(
     gather_infl = 1.0 if p.limit_all_gathers else 1.0 + p.congestion_factor
 
     def t_ag(u: UnitCost) -> float:
-        return cost_model.all_gather(u.param_bytes, shard_pl) * gather_infl
+        return (
+            cost_model.all_gather(u.param_bytes, shard_pl, p.wire_dtype)
+            * gather_infl
+        )
 
     # ---- forward ---------------------------------------------------------
     fwd_ids: list[int] = []
@@ -285,7 +294,10 @@ def build_step_schedule(
         )
         for k, bucket in enumerate(buckets):
             ready_unit = min(pseudo[j][0] for j in bucket.param_indices)
-            dur = cost_model.all_reduce(bucket.nbytes, world_pl) * p.ddp_comm_inflation
+            dur = (
+                cost_model.all_reduce(bucket.nbytes, world_pl, p.wire_dtype)
+                * p.ddp_comm_inflation
+            )
             # Coalesce grads into the bucket's flat buffer and back out.
             b.add_stall(f"copy_bucket{k}", 2 * bucket.nbytes / p.ddp_copy_bw)
             grad_final_ids.append(
@@ -318,16 +330,18 @@ def build_step_schedule(
                 issue_next_gather(dep)
 
             if sharded:
-                d_rs = cost_model.reduce_scatter(u.param_bytes, shard_pl)
+                d_rs = cost_model.reduce_scatter(u.param_bytes, shard_pl, p.wire_dtype)
                 rsid = b.add_comm(f"RS:{u.name}", d_rs, (bid,))
                 last = rsid
                 if replica_pl is not None and replica_pl.group_size > 1:
-                    d_ar = cost_model.all_reduce(u.param_bytes / s, replica_pl)
+                    d_ar = cost_model.all_reduce(
+                        u.param_bytes / s, replica_pl, p.wire_dtype
+                    )
                     last = b.add_comm(f"ARrep:{u.name}", d_ar, (rsid,))
                 grad_final_ids.append(last)
             else:
                 # NO_SHARD or HYBRID_1GPU: full-gradient all-reduce.
-                d_ar = cost_model.all_reduce(u.param_bytes, world_pl)
+                d_ar = cost_model.all_reduce(u.param_bytes, world_pl, p.wire_dtype)
                 if strategy is ShardingStrategy.NO_SHARD:
                     d_ar *= p.noshard_comm_inflation
                 grad_final_ids.append(b.add_comm(f"AR:{u.name}", d_ar, (bid,)))

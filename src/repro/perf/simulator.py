@@ -55,18 +55,29 @@ class PerfParams:
     prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE
     limit_all_gathers: bool = True
     schedule: ScheduleParams = ScheduleParams()
+    #: Training precision: "fp32" or "bf16". bf16 halves every collective
+    #: payload (wire dtype) and the activation/transient widths in the
+    #: memory model; the optimizer step stays fp32-bound (master-weight
+    #: update traffic is unchanged, see ``_ADAMW_BYTES_PER_PARAM``).
+    precision: str = "fp32"
+    #: Microbatch rounds per optimizer step. Affects the memory model
+    #: only (the unsharded fp32 accumulation buffer): per-step comm and
+    #: compute are modeled per microbatch round, which accumulation does
+    #: not change.
+    grad_accum_steps: int = 1
     #: HBM-occupancy fraction above which reallocation slowdown kicks in.
     realloc_pressure_threshold: float = 0.55
     #: Compute-time inflation at 100% HBM occupancy (quadratic ramp).
     realloc_penalty: float = 6.0
 
     def resolved_schedule(self, optimizer_seconds: float) -> ScheduleParams:
-        """Schedule params with prefetch/limit/optimizer time applied."""
+        """Schedule params with prefetch/limit/precision/optimizer applied."""
         return replace(
             self.schedule,
             prefetch=self.prefetch,
             limit_all_gathers=self.limit_all_gathers,
             optimizer_seconds=optimizer_seconds,
+            wire_dtype=self.precision,
         )
 
 
@@ -247,6 +258,8 @@ class TrainStepSimulator:
             world_size=self.world.size,
             shard_size=self.shard_size,
             local_batch=self.params.local_batch,
+            precision=self.params.precision,
+            grad_accum_steps=self.params.grad_accum_steps,
         )
 
     # -- the answer ------------------------------------------------------------

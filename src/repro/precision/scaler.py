@@ -1,0 +1,99 @@
+"""Loss scaling for reduced-precision gradient reduction.
+
+bf16 keeps fp32's exponent range, so classic fp16-style overflow is
+rare — but tiny gradients still lose mantissa when cast to a 7-bit
+significand. Scaling the per-microbatch gradients by a constant before
+the cast (and dividing it back out after the reduction, before the
+master-weight update) shifts them into a better-conditioned range.
+
+:class:`LossScaler` implements both flavors:
+
+- *static* (default): a fixed ``init_scale``; ``update`` only counts
+  overflows.
+- *dynamic* (``dynamic=True``): the AMP recipe — back off by
+  ``backoff_factor`` whenever a non-finite gradient is seen (the engine
+  skips that optimizer step), grow by ``growth_factor`` after
+  ``growth_interval`` consecutive clean steps.
+
+The scaler is part of the training trajectory, so its state round-trips
+through engine checkpoints bit-exactly (scale and counters are plain
+scalars; the checkpoint layer serializes those losslessly).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LossScaler"]
+
+
+class LossScaler:
+    """Static or dynamic loss scale with checkpointable state."""
+
+    def __init__(
+        self,
+        init_scale: float = 1.0,
+        dynamic: bool = False,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 200,
+    ):
+        if init_scale <= 0:
+            raise ValueError(f"init_scale must be positive, got {init_scale}")
+        if growth_factor <= 1.0:
+            raise ValueError(f"growth_factor must be > 1, got {growth_factor}")
+        if not 0.0 < backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be in (0, 1), got {backoff_factor}"
+            )
+        if growth_interval < 1:
+            raise ValueError(
+                f"growth_interval must be >= 1, got {growth_interval}"
+            )
+        self.scale = float(init_scale)
+        self.dynamic = bool(dynamic)
+        self.growth_factor = float(growth_factor)
+        self.backoff_factor = float(backoff_factor)
+        self.growth_interval = int(growth_interval)
+        self.overflow_count = 0
+        self._growth_tracker = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when scaling changes anything (scale != 1 or dynamic)."""
+        return self.dynamic or self.scale != 1.0
+
+    def update(self, found_inf: bool) -> None:
+        """Advance the scale after one optimizer step's finite check.
+
+        Static scalers only count overflows; dynamic ones back off on
+        overflow and grow after ``growth_interval`` clean steps.
+        """
+        if found_inf:
+            self.overflow_count += 1
+        if not self.dynamic:
+            return
+        if found_inf:
+            self.scale *= self.backoff_factor
+            self._growth_tracker = 0
+            return
+        self._growth_tracker += 1
+        if self._growth_tracker >= self.growth_interval:
+            self.scale *= self.growth_factor
+            self._growth_tracker = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot (scalars only; bit-exact round trip)."""
+        return {
+            "scale": self.scale,
+            "dynamic": self.dynamic,
+            "growth_tracker": self._growth_tracker,
+            "overflow_count": self.overflow_count,
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.scale = float(sd["scale"])
+        self.dynamic = bool(sd["dynamic"])
+        self._growth_tracker = int(sd["growth_tracker"])
+        self.overflow_count = int(sd["overflow_count"])

@@ -32,12 +32,12 @@ def format_bytes(n: float) -> str:
 
 
 def format_count(n: float) -> str:
-    """Format a large count, e.g. parameter totals (3.07e9 -> '3067M')."""
+    """Format a large count, e.g. parameter totals (3.07e9 -> '3.07B')."""
     n = float(n)
     if abs(n) >= 1e9:
         return f"{n / 1e9:.2f}B"
     if abs(n) >= 1e6:
-        return f"{n / 1e6:.0f}M"
+        return f"{n / 1e6:.2f}M"
     if abs(n) >= 1e3:
         return f"{n / 1e3:.0f}K"
     return f"{n:.0f}"

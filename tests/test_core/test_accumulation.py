@@ -1,0 +1,211 @@
+"""Gradient accumulation and mixed-precision engine guarantees.
+
+The central contracts of the precision layer, tested differentially:
+
+- fp32 with ``grad_accum_steps=k`` is **bit-identical** to the same
+  global batch on a ``k``-times-larger world, for every strategy;
+- bf16 gradient reduction moves exactly half the wire bytes of the
+  same run at fp32, and stays numerically close to it;
+- master weights and the loss scaler round-trip through engine
+  checkpoints bit-exactly;
+- a wrong microbatch count is rejected with a clear error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.world import World
+from repro.core.checkpoints import CheckpointManager
+from repro.core.config import MAEConfig, ViTConfig
+from repro.core.engine import EngineConfig, make_engine
+from repro.core.trainer import MAEPretrainer
+from repro.models.mae import MaskedAutoencoder
+from repro.optim.schedules import CosineWithWarmup
+
+VIT = ViTConfig(
+    name="tiny-test", width=16, depth=2, mlp=32, heads=4, patch=8, img_size=16
+)
+CFG = MAEConfig(
+    encoder=VIT, dec_width=16, dec_depth=1, dec_heads=4, mask_ratio=0.5
+)
+N_STEPS = 3
+
+
+def _images(n=64):
+    rng = np.random.default_rng(42)
+    return rng.standard_normal((n, 3, 16, 16))
+
+
+def _train(strategy, world_size, *, ranks_per_node=2, steps=N_STEPS, **cfg_fields):
+    """Train the tiny MAE for a few steps; return (losses, state, engine)."""
+    model = MaskedAutoencoder(CFG, rng=np.random.default_rng(7))
+    world = World(world_size, ranks_per_node=ranks_per_node)
+    engine = make_engine(
+        model, strategy, world=world, config=EngineConfig(**cfg_fields)
+    )
+    trainer = MAEPretrainer(engine, _images(), global_batch=16, seed=5)
+    result = trainer.run(steps)
+    return result.losses, model.state_dict(), engine
+
+
+def _assert_tree_equal(got, ref, path):
+    """Bit-exact comparison of a nested dict/list/array state tree."""
+    if isinstance(ref, dict):
+        assert got.keys() == ref.keys(), path
+        for k in ref:
+            _assert_tree_equal(got[k], ref[k], f"{path}/{k}")
+    elif isinstance(ref, (list, tuple)):
+        assert len(got) == len(ref), path
+        for i, (g, r) in enumerate(zip(got, ref)):
+            _assert_tree_equal(g, r, f"{path}[{i}]")
+    elif isinstance(ref, np.ndarray):
+        np.testing.assert_array_equal(got, ref, err_msg=path)
+    else:
+        assert got == ref, path
+
+
+def _assert_bit_identical(a, b):
+    a_losses, a_state, _ = a
+    b_losses, b_state, _ = b
+    assert a_losses == b_losses
+    assert a_state.keys() == b_state.keys()
+    for key in a_state:
+        np.testing.assert_array_equal(a_state[key], b_state[key], err_msg=key)
+
+
+class TestFp32AccumulationBitExact:
+    """k accumulation rounds == one round on a k-times-larger world."""
+
+    @pytest.mark.parametrize("strategy", ["ddp", "no_shard"])
+    def test_single_rank_four_rounds(self, strategy):
+        accum = _train(strategy, 1, ranks_per_node=1, grad_accum_steps=4)
+        wide = _train(strategy, 4, grad_accum_steps=1)
+        _assert_bit_identical(accum, wide)
+
+    @pytest.mark.parametrize("strategy", ["full_shard", "shard_grad_op"])
+    def test_sharded_two_ranks_two_rounds(self, strategy):
+        accum = _train(strategy, 2, grad_accum_steps=2)
+        wide = _train(strategy, 4, grad_accum_steps=1)
+        _assert_bit_identical(accum, wide)
+
+    @pytest.mark.parametrize("shard_size", [1, 2])
+    def test_hybrid_two_ranks_two_rounds(self, shard_size):
+        accum = _train(
+            "hybrid_shard", 2, grad_accum_steps=2, shard_size=shard_size
+        )
+        wide = _train(
+            "hybrid_shard", 4, grad_accum_steps=1, shard_size=shard_size
+        )
+        _assert_bit_identical(accum, wide)
+
+    def test_ddp_accum_with_tiny_buckets(self):
+        # Bucket boundaries must not interact with accumulation rounds.
+        accum = _train("ddp", 2, grad_accum_steps=2, bucket_cap_bytes=1024)
+        wide = _train("ddp", 4, grad_accum_steps=1, bucket_cap_bytes=1024)
+        _assert_bit_identical(accum, wide)
+
+
+class TestBf16:
+    def test_wire_bytes_exactly_half_of_fp32(self):
+        _, _, fp32 = _train("ddp", 2, steps=2)
+        _, _, bf16 = _train("ddp", 2, steps=2, precision="bf16")
+        assert bf16.comm.stats.total_bytes == fp32.comm.stats.total_bytes / 2
+        assert bf16.comm.stats.bytes_by_dtype == {
+            "bf16": pytest.approx(bf16.comm.stats.total_bytes)
+        }
+        assert fp32.comm.stats.bytes_by_dtype == {
+            "fp32": pytest.approx(fp32.comm.stats.total_bytes)
+        }
+
+    def test_fsdp_wire_bytes_exactly_half_of_fp32(self):
+        # Param all-gathers and gradient reduce-scatters both shrink.
+        _, _, fp32 = _train("full_shard", 2, steps=2)
+        _, _, bf16 = _train("full_shard", 2, steps=2, precision="bf16")
+        assert bf16.comm.stats.total_bytes == fp32.comm.stats.total_bytes / 2
+
+    @pytest.mark.parametrize("strategy", ["ddp", "full_shard", "hybrid_shard"])
+    def test_tracks_fp32_trajectory(self, strategy):
+        shard = {"shard_size": 2} if strategy == "hybrid_shard" else {}
+        ref_losses, ref_state, _ = _train(strategy, 4, **shard)
+        losses, state, _ = _train(strategy, 4, precision="bf16", **shard)
+        assert np.isfinite(losses).all()
+        np.testing.assert_allclose(losses, ref_losses, atol=1e-2)
+        for key in ref_state:
+            np.testing.assert_allclose(
+                state[key], ref_state[key], atol=1e-2, err_msg=key
+            )
+
+    def test_bf16_with_accumulation_runs(self):
+        losses, _, engine = _train(
+            "full_shard", 2, precision="bf16", grad_accum_steps=2,
+            loss_scale=1024.0,
+        )
+        assert np.isfinite(losses).all()
+        assert engine.scaler.scale == 1024.0
+
+
+class TestCheckpointRoundTrip:
+    @staticmethod
+    def _bf16_engine(model_seed):
+        model = MaskedAutoencoder(CFG, rng=np.random.default_rng(model_seed))
+        return make_engine(
+            model, "ddp", world=World(2, ranks_per_node=2),
+            config=EngineConfig(
+                precision="bf16", loss_scale=256.0, dynamic_loss_scale=True
+            ),
+        )
+
+    def test_masters_and_scaler_survive_bit_exactly(self, tmp_path):
+        """Resume mid-run: bf16 masters + dynamic scaler give the same
+        trajectory as the uninterrupted run."""
+        schedule = CosineWithWarmup(base_lr=1e-3, total_steps=4, warmup_steps=1)
+        original = self._bf16_engine(model_seed=7)
+        trainer = MAEPretrainer(
+            original, _images(), global_batch=16, seed=5, schedule=schedule
+        )
+        trainer.run(2)
+
+        mgr = CheckpointManager(str(tmp_path), keep=2)
+        mgr.save(original.state_dict(), step=original.step_count)
+        state, _ = mgr.load_step(2)
+
+        resumed = self._bf16_engine(model_seed=0)  # different init weights
+        resumed.load_state_dict(state)
+        assert resumed.scaler.state_dict() == original.scaler.state_dict()
+        ref_opt = original.state_dict()["optimizer"]
+        restored_opt = resumed.state_dict()["optimizer"]
+        assert ref_opt.keys() == restored_opt.keys()
+        assert "master" in ref_opt  # bf16 attaches fp32 masters
+        _assert_tree_equal(restored_opt, ref_opt, "optimizer")
+
+        # Continue both engines from step 2; trajectories must agree.
+        resumed_trainer = MAEPretrainer(
+            resumed, _images(), global_batch=16, seed=5, schedule=schedule
+        )
+        resumed_result = resumed_trainer.run(2, start_step=2)
+        trainer.run(2, start_step=2)
+        for key, ref in original.model.state_dict().items():
+            np.testing.assert_array_equal(
+                resumed.model.state_dict()[key], ref, err_msg=key
+            )
+        assert np.isfinite(resumed_result.losses).all()
+
+
+class TestValidation:
+    def test_wrong_micro_count_names_rounds_and_ranks(self):
+        model = MaskedAutoencoder(CFG, rng=np.random.default_rng(0))
+        engine = make_engine(
+            model, "ddp", world=World(2, ranks_per_node=2),
+            config=EngineConfig(grad_accum_steps=3),
+        )
+        with pytest.raises(ValueError, match=r"3 accumulation round\(s\)"):
+            engine.train_step([None] * 4, lambda m, b: 0.0)
+
+    def test_trainer_rejects_indivisible_global_batch(self):
+        model = MaskedAutoencoder(CFG, rng=np.random.default_rng(0))
+        engine = make_engine(
+            model, "ddp", world=World(2, ranks_per_node=2),
+            config=EngineConfig(grad_accum_steps=3),
+        )
+        with pytest.raises(ValueError, match="divisible"):
+            MAEPretrainer(engine, _images(), global_batch=16, seed=5)

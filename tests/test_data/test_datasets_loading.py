@@ -151,8 +151,30 @@ class TestDistributedSampler:
             DistributedSampler(0, 1, 0)
         with pytest.raises(ValueError):
             DistributedSampler(8, 2, 2)
-        with pytest.raises(NotImplementedError):
-            DistributedSampler(7, 2, 0, drop_last=False)
+
+    def test_drop_last_truncates(self):
+        samplers = [DistributedSampler(7, 2, r, seed=5) for r in range(2)]
+        chunks = [s.epoch_indices(0) for s in samplers]
+        assert all(len(c) == 3 for c in chunks)
+        union = sorted(np.concatenate(chunks).tolist())
+        # 6 distinct items survive; exactly one is dropped this epoch.
+        assert len(set(union)) == 6
+
+    def test_padding_mode_wraps(self):
+        samplers = [
+            DistributedSampler(7, 2, r, seed=5, drop_last=False) for r in range(2)
+        ]
+        chunks = [s.epoch_indices(0) for s in samplers]
+        assert all(len(c) == 4 for c in chunks)
+        union = np.concatenate(chunks)
+        # Every item appears; the pad duplicates the permutation's head.
+        assert set(union.tolist()) == set(range(7))
+        assert len(union) == 8
+
+    def test_padding_mode_exact_division_unchanged(self):
+        a = DistributedSampler(8, 2, 0, seed=1).epoch_indices(0)
+        b = DistributedSampler(8, 2, 0, seed=1, drop_last=False).epoch_indices(0)
+        np.testing.assert_array_equal(a, b)
 
 
 class TestTransforms:

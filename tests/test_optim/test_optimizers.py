@@ -158,6 +158,15 @@ class TestSchedule:
         assert s(100) == pytest.approx(0.1)
         assert s(50) == pytest.approx(0.55, abs=0.01)
 
+    def test_peak_lr_hit_exactly_once(self):
+        # Warmup reaches base_lr at step warmup_steps - 1; decay must start
+        # on the very next step, not hold the peak for two steps.
+        s = CosineWithWarmup(base_lr=1.0, total_steps=100, warmup_steps=10)
+        lrs = [s(t) for t in range(100)]
+        assert lrs.count(max(lrs)) == 1
+        assert s(9) == pytest.approx(1.0)
+        assert s(10) < 1.0
+
     def test_monotone_after_warmup(self):
         s = CosineWithWarmup(base_lr=1.0, total_steps=50, warmup_steps=5)
         lrs = [s(t) for t in range(5, 51)]

@@ -1,0 +1,1 @@
+"""Tests for the emulated mixed-precision layer (``repro.precision``)."""

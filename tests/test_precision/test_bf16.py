@@ -1,0 +1,103 @@
+"""Unit tests for the bf16 emulation primitives.
+
+The engines lean on three properties: the round is idempotent (grid
+values are fixed points), rounding is to-nearest-even at the bit level,
+and non-finite values survive the trip (NaN never decodes as infinity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    BF16_EPS,
+    BF16_MAX,
+    bf16_round,
+    from_bf16,
+    to_bf16,
+)
+from repro.precision.bf16 import DTYPE_BYTES, WIRE_FRACTION, wire_fraction
+
+
+class TestRoundTrip:
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        once = bf16_round(x)
+        np.testing.assert_array_equal(bf16_round(once), once)
+
+    def test_exactly_representable_values_unchanged(self):
+        # Small integers and powers of two fit in 8 mantissa bits.
+        x = np.array([0.0, -0.0, 1.0, -1.0, 2.0, 0.5, 3.0, 100.0, 2.0**-20])
+        np.testing.assert_array_equal(bf16_round(x), x)
+
+    def test_preserves_dtype_and_shape(self, rng):
+        for dtype in (np.float32, np.float64):
+            x = rng.standard_normal((3, 4, 5)).astype(dtype)
+            y = bf16_round(x)
+            assert y.dtype == dtype
+            assert y.shape == x.shape
+
+    def test_storage_is_uint16(self, rng):
+        bits = to_bf16(rng.standard_normal(8).astype(np.float32))
+        assert bits.dtype == np.uint16
+        assert from_bf16(bits).dtype == np.float32
+
+    def test_relative_error_bounded_by_unit_roundoff(self, rng):
+        x = rng.standard_normal(10_000).astype(np.float32) * 100.0
+        y = bf16_round(x)
+        rel = np.abs(y - x) / np.abs(x)
+        # Round-to-nearest: relative error at most the unit roundoff
+        # (BF16_EPS = 2**-8; the grid spacing at 1.0 is 2 * BF16_EPS).
+        assert rel.max() <= BF16_EPS + 1e-12
+
+
+class TestRounding:
+    def test_round_to_nearest_even_on_tie(self):
+        # The grid spacing at 1.0 is 2*eps, so 1 + eps is exactly halfway
+        # between 1.0 (even mantissa) and 1 + 2*eps (odd); nearest-even
+        # keeps 1.0. The next tie, 1 + 3*eps, sits between odd 1 + 2*eps
+        # and even 1 + 4*eps and rounds up.
+        assert bf16_round(np.float32(1.0 + BF16_EPS)) == 1.0
+        assert bf16_round(np.float32(1.0 + 3 * BF16_EPS)) == 1.0 + 4 * BF16_EPS
+
+    def test_above_halfway_rounds_up(self):
+        x = np.float32(1.0 + 1.5 * BF16_EPS)
+        assert bf16_round(x) == np.float32(1.0 + 2 * BF16_EPS)
+
+    def test_sign_symmetry(self, rng):
+        x = rng.standard_normal(256).astype(np.float32)
+        np.testing.assert_array_equal(bf16_round(-x), -bf16_round(x))
+
+
+class TestNonFinite:
+    def test_bf16_max_is_largest_finite(self):
+        assert bf16_round(np.float32(BF16_MAX)) == np.float32(BF16_MAX)
+        assert np.isinf(bf16_round(np.float32(3.4e38)))
+
+    def test_inf_passes_through(self):
+        x = np.array([np.inf, -np.inf], dtype=np.float32)
+        np.testing.assert_array_equal(bf16_round(x), x)
+
+    def test_nan_survives_and_never_becomes_inf(self):
+        # A NaN payload living entirely in the dropped low bits would
+        # truncate to an all-zero mantissa (infinity) without the forced
+        # quiet bit.
+        tricky = np.array([0x7F800001], dtype=np.uint32).view(np.float32)
+        out = bf16_round(np.concatenate([tricky, [np.float32(np.nan)]]))
+        assert np.isnan(out).all()
+
+    def test_nan_keeps_sign(self):
+        neg_nan = np.array([0xFF800123], dtype=np.uint32).view(np.float32)
+        bits = to_bf16(neg_nan)
+        assert bits[0] >> 15 == 1  # sign bit preserved
+        assert np.isnan(from_bf16(bits))[0]
+
+
+class TestWireAccounting:
+    def test_wire_fraction_values(self):
+        assert wire_fraction("fp32") == 1.0
+        assert wire_fraction("bf16") == 0.5
+        assert WIRE_FRACTION["bf16"] == DTYPE_BYTES["bf16"] / DTYPE_BYTES["fp32"]
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            wire_fraction("fp16")

@@ -1,0 +1,71 @@
+"""Unit tests for :class:`repro.precision.LossScaler` dynamics and state."""
+
+import pytest
+
+from repro.precision import LossScaler
+
+
+class TestStatic:
+    def test_default_is_disabled_identity(self):
+        s = LossScaler()
+        assert s.scale == 1.0
+        assert not s.enabled
+        s.update(found_inf=False)
+        s.update(found_inf=True)
+        assert s.scale == 1.0
+        assert s.overflow_count == 1
+
+    def test_fixed_scale_enabled_but_constant(self):
+        s = LossScaler(init_scale=128.0)
+        assert s.enabled
+        for _ in range(5):
+            s.update(found_inf=True)
+        assert s.scale == 128.0
+        assert s.overflow_count == 5
+
+
+class TestDynamic:
+    def test_backoff_on_overflow(self):
+        s = LossScaler(init_scale=16.0, dynamic=True, backoff_factor=0.5)
+        s.update(found_inf=True)
+        assert s.scale == 8.0
+        s.update(found_inf=True)
+        assert s.scale == 4.0
+
+    def test_growth_after_clean_interval(self):
+        s = LossScaler(init_scale=4.0, dynamic=True, growth_interval=3)
+        for _ in range(2):
+            s.update(found_inf=False)
+        assert s.scale == 4.0
+        s.update(found_inf=False)
+        assert s.scale == 8.0
+
+    def test_overflow_resets_growth_streak(self):
+        s = LossScaler(init_scale=4.0, dynamic=True, growth_interval=2)
+        s.update(found_inf=False)
+        s.update(found_inf=True)  # streak resets, scale backs off
+        s.update(found_inf=False)
+        assert s.scale == 2.0  # one backoff, no growth yet
+
+
+class TestStateAndValidation:
+    def test_state_round_trip_bit_exact(self):
+        s = LossScaler(init_scale=32.0, dynamic=True, growth_interval=4)
+        s.update(found_inf=False)
+        s.update(found_inf=True)
+        s.update(found_inf=False)
+        fresh = LossScaler()
+        fresh.load_state_dict(s.state_dict())
+        assert fresh.state_dict() == s.state_dict()
+        assert fresh.scale == s.scale
+        assert fresh.dynamic
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossScaler(init_scale=0.0)
+        with pytest.raises(ValueError):
+            LossScaler(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            LossScaler(backoff_factor=1.0)
+        with pytest.raises(ValueError):
+            LossScaler(growth_interval=0)

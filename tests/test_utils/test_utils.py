@@ -65,9 +65,12 @@ class TestUnits:
         assert format_bytes(1.5 * GIB) == "1.50 GiB"
 
     def test_format_count(self):
-        assert format_count(87e6) == "87M"
+        assert format_count(87e6) == "87.00M"
         assert format_count(3.067e9) == "3.07B"
+        # Two decimals keep neighbouring model sizes distinct in table1.
+        assert format_count(86.6e6) == "86.60M"
         assert format_count(999) == "999"
+        assert format_count(4_200) == "4K"
 
     def test_format_time(self):
         assert format_time(2.5) == "2.500 s"
