@@ -1,0 +1,277 @@
+"""Benchmark: online serving throughput, latency, and cache behavior.
+
+Drives :class:`repro.serve.InferenceServer` with deterministic load and
+writes ``BENCH_serving.json`` for ``benchmarks/check_regression.py``.
+Three phases:
+
+- **throughput / saturation gate** — a closed burst (every request
+  present at t=0) keeps the batcher forming full batches back to back,
+  so serving degenerates to offline inference plus queue bookkeeping.
+  Wall-clock images/s of the serving path must reach >=
+  ``GATE_THRESHOLD`` x offline :func:`extract_features` at the same
+  model, batch size, and replica count (best of ``GATE_REPEATS`` runs,
+  same process, same machine).
+- **latency under paced load** — seeded arrivals at ~70% of the
+  cost-model capacity of each replica set; p50/p99 are *virtual-time*
+  quantities (scheduling + modeled service), deterministic and
+  machine-independent.
+- **cache** — repeat-heavy traffic over a small working set; reports
+  the steady-state hit rate.
+
+Run directly (``python benchmarks/bench_serving.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import get_mae_config
+from repro.eval.features import extract_features
+from repro.hardware.gpu import GpuSpec
+from repro.models import MaskedAutoencoder
+from repro.serve import (
+    FixedServiceModel,
+    InferenceServer,
+    ServiceTimeModel,
+    latency_stats,
+)
+
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+GATE_MODEL = "proxy-huge"
+GATE_BATCH = 16
+GATE_IMAGES = 128
+GATE_REPEATS = 3
+GATE_THRESHOLD = 0.9
+
+LATENCY_REQUESTS = 96
+LATENCY_UTILIZATION = 0.7
+LATENCY_REPLICAS = (1, 4)
+
+CACHE_REQUESTS = 240
+CACHE_WORKING_SET = 16
+
+
+def _model_and_images(n: int):
+    cfg = get_mae_config(GATE_MODEL)
+    model = MaskedAutoencoder(cfg, rng=np.random.default_rng(0))
+    enc = cfg.encoder
+    images = np.random.default_rng(1).standard_normal(
+        (n, enc.in_chans, enc.img_size, enc.img_size)
+    )
+    return model, images
+
+
+# -- phase 1: saturation gate --------------------------------------------------
+
+
+def _saturation(model, images) -> dict:
+    """Best-of-N wall-clock serving/offline throughput ratio."""
+    n = len(images)
+    extract_features(model, images[:GATE_BATCH], batch_size=GATE_BATCH)  # warmup
+    ratios, offline_ips, serving_ips = [], [], []
+    for _ in range(GATE_REPEATS):
+        t0 = time.perf_counter()
+        extract_features(model, images, batch_size=GATE_BATCH)
+        offline = n / (time.perf_counter() - t0)
+
+        server = InferenceServer(
+            model,
+            # Service model fast enough that virtual pacing never stalls
+            # the closed burst; wall-clock cost is the real NumPy encode.
+            services=[FixedServiceModel(1e6)],
+            max_batch_size=GATE_BATCH,
+            max_wait_s=0.0,
+            queue_capacity=n,
+        )
+        workload = [(0.0, images[i]) for i in range(n)]
+        t0 = time.perf_counter()
+        responses = server.run(workload)
+        serving = n / (time.perf_counter() - t0)
+
+        assert all(r.status == "ok" for r in responses)
+        assert server.stats.reconciles()
+        offline_ips.append(offline)
+        serving_ips.append(serving)
+        ratios.append(serving / offline)
+    best = int(np.argmax(ratios))
+    return {
+        "model": GATE_MODEL,
+        "batch_size": GATE_BATCH,
+        "n_images": n,
+        "repeats": GATE_REPEATS,
+        "offline_images_per_s": offline_ips[best],
+        "serving_images_per_s": serving_ips[best],
+        "saturation_ratio": ratios[best],
+        "ratios": ratios,
+    }
+
+
+# -- phase 2: latency under paced load -----------------------------------------
+
+
+def _latency(model, images) -> dict:
+    """Virtual-time p50/p99 at fixed utilization, per replica count."""
+    enc = model.cfg.encoder
+    gpu = GpuSpec()
+    svc = ServiceTimeModel(enc, gpu)
+    capacity_1 = GATE_BATCH / svc.estimate(GATE_BATCH)  # img/s, one replica
+    out = {}
+    for n_rep in LATENCY_REPLICAS:
+        rate = LATENCY_UTILIZATION * capacity_1 * n_rep
+        gaps = np.random.default_rng(7).exponential(1.0 / rate, LATENCY_REQUESTS)
+        arrivals = np.cumsum(gaps)
+        server = InferenceServer(
+            model,
+            services=[ServiceTimeModel(enc, gpu)] * n_rep,
+            max_batch_size=GATE_BATCH,
+            max_wait_s=2.0 / rate,  # wait ~2 mean inter-arrivals to batch up
+            queue_capacity=4 * GATE_BATCH,
+        )
+        responses = server.run(
+            [(float(arrivals[i]), images[i % len(images)]) for i in range(LATENCY_REQUESTS)]
+        )
+        assert server.stats.reconciles()
+        stats = latency_stats(responses)
+        stats["replicas"] = n_rep
+        stats["offered_images_per_s"] = rate
+        stats["mean_batch"] = (
+            server.stats.batched_images / server.stats.batches
+            if server.stats.batches
+            else 0.0
+        )
+        out[str(n_rep)] = stats
+    out["utilization"] = LATENCY_UTILIZATION
+    out["service_s_per_batch"] = svc.estimate(GATE_BATCH)
+    return out
+
+
+# -- phase 3: cache hit rate ---------------------------------------------------
+
+
+def _cache(model, images) -> dict:
+    """Repeat-heavy traffic over CACHE_WORKING_SET distinct images."""
+    rng = np.random.default_rng(11)
+    picks = rng.integers(0, CACHE_WORKING_SET, CACHE_REQUESTS)
+    server = InferenceServer(
+        model,
+        services=[FixedServiceModel(2000.0)],
+        max_batch_size=GATE_BATCH,
+        max_wait_s=0.001,
+        queue_capacity=CACHE_REQUESTS,
+        cache_capacity=CACHE_WORKING_SET,
+    )
+    # Spaced past the service time so completions populate the cache
+    # before the next repeat arrives.
+    responses = server.run(
+        [(i * 0.02, images[picks[i]]) for i in range(CACHE_REQUESTS)]
+    )
+    assert all(r.status == "ok" for r in responses)
+    s = server.stats
+    assert s.reconciles()
+    return {
+        "requests": CACHE_REQUESTS,
+        "working_set": CACHE_WORKING_SET,
+        "hits": s.cache_hits,
+        "misses": s.cache_misses,
+        "hit_rate": s.cache_hits / max(1, s.cache_hits + s.cache_misses),
+        "encoded_images": s.batched_images,
+    }
+
+
+# -- driver --------------------------------------------------------------------
+
+
+def run_serving() -> dict:
+    """Run all phases; returns the JSON-ready result dict."""
+    model, images = _model_and_images(GATE_IMAGES)
+    sat = _saturation(model, images)
+    lat = _latency(model, images)
+    cache = _cache(model, images)
+    return {
+        "schema": 1,
+        "gate": {
+            "threshold": GATE_THRESHOLD,
+            "saturation_ratio": sat["saturation_ratio"],
+            "model": GATE_MODEL,
+            "batch_size": GATE_BATCH,
+        },
+        "throughput": sat,
+        "latency": lat,
+        "cache": cache,
+    }
+
+
+def render_serving(result: dict) -> str:
+    """Human-readable report of one run."""
+    t = result["throughput"]
+    lines = [
+        f"saturation ({t['model']}, batch {t['batch_size']}, "
+        f"{t['n_images']} images): serving {t['serving_images_per_s']:.0f} img/s "
+        f"vs offline {t['offline_images_per_s']:.0f} img/s = "
+        f"{t['saturation_ratio']:.3f}x (gate >= {result['gate']['threshold']}x)",
+        "",
+        f"{'replicas':<9} {'offered/s':>10} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'mean batch':>11}",
+    ]
+    lat = result["latency"]
+    for n_rep in LATENCY_REPLICAS:
+        s = lat[str(n_rep)]
+        lines.append(
+            f"{n_rep:<9} {s['offered_images_per_s']:>10.0f} {s['p50_ms']:>8.2f} "
+            f"{s['p99_ms']:>8.2f} {s['mean_batch']:>11.1f}"
+        )
+    c = result["cache"]
+    lines.append("")
+    lines.append(
+        f"cache: {c['hits']}/{c['requests']} hits "
+        f"({c['hit_rate']:.1%}) over a working set of {c['working_set']}; "
+        f"encoder ran on {c['encoded_images']} images"
+    )
+    return "\n".join(lines)
+
+
+def _write(result: dict) -> None:
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def _assert_gates(result: dict) -> None:
+    g = result["gate"]
+    assert g["saturation_ratio"] >= g["threshold"], (
+        f"serving saturation {g['saturation_ratio']:.3f}x below the "
+        f"{g['threshold']}x gate"
+    )
+    lat = result["latency"]
+    for n_rep in LATENCY_REPLICAS:
+        s = lat[str(n_rep)]
+        assert s["n_ok"] == LATENCY_REQUESTS
+        assert 0 < s["p50_ms"] <= s["p99_ms"]
+    # More replicas at fixed utilization must not raise the tail.
+    assert (
+        lat[str(LATENCY_REPLICAS[-1])]["p99_ms"]
+        <= lat[str(LATENCY_REPLICAS[0])]["p99_ms"] * 4.0
+    )
+    c = result["cache"]
+    assert c["hit_rate"] > 0.5
+    assert c["encoded_images"] < c["requests"]
+
+
+def test_serving(benchmark):
+    result = benchmark.pedantic(run_serving, rounds=1, iterations=1)
+    from benchmarks.conftest import emit
+
+    emit("Serving", render_serving(result))
+    _write(result)
+    _assert_gates(result)
+
+
+if __name__ == "__main__":
+    res = run_serving()
+    print(render_serving(res))
+    _write(res)
+    _assert_gates(res)
+    print(f"\nwrote {OUT_PATH}")

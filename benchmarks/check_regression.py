@@ -1,10 +1,14 @@
-"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+"""Compare fresh bench artifacts against the committed baselines.
+
+Covers ``BENCH_hotpath.json`` (substrate training throughput) and
+``BENCH_serving.json`` (online serving throughput/saturation).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py      # fresh run
-    python benchmarks/check_regression.py                  # diff vs baseline
-    python benchmarks/check_regression.py --update         # bless current run
+    PYTHONPATH=src python benchmarks/bench_serving.py      # fresh run
+    python benchmarks/check_regression.py                  # diff vs baselines
+    python benchmarks/check_regression.py --update         # bless current runs
 
 Exits nonzero when any proxy model's measured images/second fell more
 than ``--threshold`` (default 15%) below the baseline, so CI can gate
@@ -13,8 +17,11 @@ fail; bless them into the baseline with ``--update`` to tighten the bar.
 
 Absolute throughput is machine-dependent: the committed baseline is only
 meaningful when fresh run and baseline come from the same machine class.
-The attention fused-vs-naive speedup is machine-*relative* and is checked
-against the bench's own gate (1.3x), not the baseline.
+Two gates are machine-*relative* and checked against the artifact's own
+threshold rather than the baseline: the attention fused-vs-naive speedup
+(1.3x) and the serving saturation ratio (serving >= 0.9x offline
+inference on the same replica set). A missing serving artifact is only a
+warning, so the hotpath-only workflow keeps working.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 FRESH = HERE / "BENCH_hotpath.json"
 BASELINE = HERE / "BENCH_hotpath.baseline.json"
+SERVING_FRESH = HERE / "BENCH_serving.json"
+SERVING_BASELINE = HERE / "BENCH_serving.baseline.json"
 DEFAULT_THRESHOLD = 0.15
 
 
@@ -57,6 +66,41 @@ def compare(
             f"below its own {gate['threshold']}x gate"
         )
     return problems
+
+
+def compare_serving(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regressions in the serving artifact (empty = pass)."""
+    problems: list[str] = []
+    got = fresh.get("throughput", {}).get("serving_images_per_s", 0.0)
+    want = baseline.get("throughput", {}).get("serving_images_per_s", 0.0)
+    if want > 0:
+        change = (got - want) / want
+        if change < -threshold:
+            problems.append(
+                f"serving: {got:.1f} images/s vs baseline {want:.1f} "
+                f"({change:+.1%}, allowed -{threshold:.0%})"
+            )
+    gate = fresh.get("gate", {})
+    if gate.get("saturation_ratio", 0.0) < gate.get("threshold", 0.0):
+        problems.append(
+            f"serving saturation {gate['saturation_ratio']:.3f}x below its "
+            f"own {gate['threshold']}x gate"
+        )
+    return problems
+
+
+def render_serving(fresh: dict, baseline: dict) -> str:
+    """One-line serving throughput comparison."""
+    got = fresh.get("throughput", {})
+    want = baseline.get("throughput", {})
+    g, w = got.get("serving_images_per_s", 0.0), want.get("serving_images_per_s", 0.0)
+    change = g / w - 1.0 if w > 0 else 0.0
+    return (
+        f"{'serving':<12} {w:>10.1f} {g:>10.1f} {change:>+7.1%}   "
+        f"(saturation {fresh.get('gate', {}).get('saturation_ratio', 0.0):.3f}x)"
+    )
 
 
 def render(fresh: dict, baseline: dict) -> str:
@@ -104,6 +148,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.update:
         shutil.copyfile(args.fresh, args.baseline)
         print(f"baseline updated from {args.fresh}")
+        if SERVING_FRESH.exists():
+            shutil.copyfile(SERVING_FRESH, SERVING_BASELINE)
+            print(f"baseline updated from {SERVING_FRESH}")
         return 0
 
     if not args.baseline.exists():
@@ -113,6 +160,18 @@ def main(argv: list[str] | None = None) -> int:
 
     print(render(fresh, baseline))
     problems = compare(fresh, baseline, threshold=args.threshold)
+
+    if SERVING_FRESH.exists() and SERVING_BASELINE.exists():
+        serving_fresh = json.loads(SERVING_FRESH.read_text())
+        serving_baseline = json.loads(SERVING_BASELINE.read_text())
+        print(render_serving(serving_fresh, serving_baseline))
+        problems += compare_serving(
+            serving_fresh, serving_baseline, threshold=args.threshold
+        )
+    elif SERVING_FRESH.exists() or SERVING_BASELINE.exists():
+        print("serving: fresh artifact and baseline incomplete; skipping "
+              "(run bench_serving.py, then --update)")
+
     if problems:
         print("\nREGRESSION:")
         for p in problems:

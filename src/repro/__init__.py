@@ -63,6 +63,16 @@ from repro.models.vit import VisionTransformer
 from repro.optim.adamw import AdamW
 from repro.perf.simulator import PerfParams, TrainStepSimulator
 from repro.precision import LossScaler, bf16_round, from_bf16, to_bf16
+from repro.serve import (
+    FixedServiceModel,
+    InferenceServer,
+    LRUFeatureCache,
+    ReplicaFaultPlan,
+    ServerStats,
+    ServiceTimeModel,
+    VirtualClock,
+    latency_stats,
+)
 from repro.telemetry import (
     NULL_BUS,
     JsonlSink,
@@ -113,6 +123,14 @@ __all__ = [
     "bf16_round",
     "to_bf16",
     "from_bf16",
+    "InferenceServer",
+    "ServerStats",
+    "VirtualClock",
+    "ServiceTimeModel",
+    "FixedServiceModel",
+    "LRUFeatureCache",
+    "ReplicaFaultPlan",
+    "latency_stats",
     "TelemetryBus",
     "TelemetryEvent",
     "NullSink",

@@ -19,9 +19,20 @@ __all__ = ["extract_features", "standardize_features"]
 def extract_features(
     model: MaskedAutoencoder, images: np.ndarray, batch_size: int = 64
 ) -> np.ndarray:
-    """Class-token features for ``images``: ``(N, width)``."""
+    """Class-token features for ``images``: ``(N, width)``.
+
+    ``N == 0`` is a valid input (an empty shard, a fully-filtered split)
+    and returns an empty ``(0, width)`` matrix that concatenates and
+    standardizes like any other — not the bare ``np.concatenate`` error
+    an empty chunk list used to surface.
+    """
     if images.ndim != 4:
         raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
+    if len(images) == 0:
+        # Match the dtype a real forward would produce (float64 params
+        # promote any float input).
+        dtype = np.result_type(images.dtype, np.float64)
+        return np.zeros((0, model.cfg.encoder.width), dtype=dtype)
     chunks = [
         model.encode_features(images[i : i + batch_size])
         for i in range(0, len(images), batch_size)

@@ -1,0 +1,59 @@
+"""Online inference serving for the frozen geospatial encoder.
+
+The paper's downstream artifact (Section V) — a frozen MAE/ViT encoder
+whose class-token features drive scene classification — is exactly what
+a production geospatial service puts behind an endpoint. This package
+makes that endpoint real *and testable*: a dynamic micro-batching queue
+(:mod:`~repro.serve.batcher`), a bounded admission queue with
+backpressure (:mod:`~repro.serve.queue`), a replica pool balanced by the
+hardware cost model (:mod:`~repro.serve.replica`), a content-addressed
+LRU feature cache (:mod:`~repro.serve.cache`), and the deterministic
+event loop that runs them (:mod:`~repro.serve.server`) — all on virtual
+time (:mod:`~repro.serve.clock`), so every concurrency behaviour is a
+replayable function of the workload and seeds.
+
+Quick start::
+
+    from repro.serve import InferenceServer, VirtualClock
+
+    clock = VirtualClock()
+    server = InferenceServer(model, n_replicas=2, max_batch_size=16,
+                             max_wait_s=0.002, cache_capacity=1024,
+                             clock=clock)
+    responses = server.run([(t, image) for t, image in workload])
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import LRUFeatureCache, image_digest
+from repro.serve.clock import VirtualClock
+from repro.serve.queue import Request, RequestQueue, Response
+from repro.serve.replica import (
+    FixedServiceModel,
+    Replica,
+    ReplicaError,
+    ReplicaFaultPlan,
+    ReplicaFaultSpec,
+    ReplicaPool,
+    ServiceTimeModel,
+)
+from repro.serve.server import InferenceServer, ServerStats, latency_stats
+
+__all__ = [
+    "VirtualClock",
+    "Request",
+    "Response",
+    "RequestQueue",
+    "MicroBatcher",
+    "LRUFeatureCache",
+    "image_digest",
+    "ServiceTimeModel",
+    "FixedServiceModel",
+    "Replica",
+    "ReplicaPool",
+    "ReplicaError",
+    "ReplicaFaultSpec",
+    "ReplicaFaultPlan",
+    "InferenceServer",
+    "ServerStats",
+    "latency_stats",
+]

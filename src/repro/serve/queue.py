@@ -1,0 +1,170 @@
+"""Requests, responses, and the bounded admission queue.
+
+The serving front door. A :class:`Request` is one image with an arrival
+time and an optional absolute deadline; a :class:`Response` is its single
+terminal record — exactly one per submitted request, whatever happens in
+between (cache hit, batching, replica fault, timeout). The
+:class:`RequestQueue` is the only buffer between admission and the
+replica pool: it is bounded, and a full queue *rejects at submit time*
+(backpressure) rather than growing without limit — the load-shedding
+behaviour a saturated service needs so queueing delay cannot grow
+unboundedly past every deadline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "REQUEST_STATUSES",
+    "REJECT_REASONS",
+    "Request",
+    "Response",
+    "RequestQueue",
+]
+
+#: Terminal statuses a request can end in.
+REQUEST_STATUSES = ("ok", "timeout", "rejected")
+
+#: Why a request was rejected (attribute on ``rejected`` responses).
+REJECT_REASONS = ("queue_full", "replica_failure")
+
+
+@dataclass
+class Request:
+    """One admitted inference request.
+
+    Attributes
+    ----------
+    req_id:
+        Server-assigned monotonically increasing id.
+    image:
+        The ``(C, H, W)`` input image.
+    arrival_s:
+        Virtual time the request was submitted.
+    deadline_s:
+        Absolute virtual deadline, or ``None`` for best-effort. A request
+        whose deadline passes before its features are delivered receives
+        a ``timeout`` response, never a late ``ok``.
+    digest:
+        Content digest of ``image`` (cache key); empty when caching is
+        disabled.
+    retries:
+        How many times the request has been requeued after a replica
+        fault. The pool's contract is requeue-once-then-fail.
+    """
+
+    req_id: int
+    image: np.ndarray
+    arrival_s: float
+    deadline_s: float | None = None
+    digest: str = ""
+    retries: int = 0
+
+    def expired(self, now_s: float) -> bool:
+        """True when the deadline has passed at virtual time ``now_s``."""
+        return self.deadline_s is not None and now_s > self.deadline_s
+
+
+@dataclass(frozen=True)
+class Response:
+    """The single terminal record of one request.
+
+    ``latency_s`` is ``done_s - arrival_s`` in virtual time; for
+    ``rejected``/``timeout`` responses it measures time-to-verdict, and
+    ``features`` is ``None``.
+    """
+
+    req_id: int
+    status: str
+    arrival_s: float
+    done_s: float
+    features: np.ndarray | None = None
+    reason: str = ""
+    cache_hit: bool = False
+    replica_id: int | None = None
+    batch_id: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in REQUEST_STATUSES:
+            raise ValueError(
+                f"unknown status {self.status!r}; expected one of {REQUEST_STATUSES}"
+            )
+        if self.status == "rejected" and self.reason not in REJECT_REASONS:
+            raise ValueError(
+                f"rejected responses need a reason from {REJECT_REASONS}, "
+                f"got {self.reason!r}"
+            )
+
+    @property
+    def latency_s(self) -> float:
+        """Virtual seconds from arrival to the terminal verdict."""
+        return self.done_s - self.arrival_s
+
+
+class RequestQueue:
+    """Bounded FIFO of admitted requests (the backpressure point).
+
+    ``push`` refuses work once ``capacity`` requests are waiting —
+    the caller turns that refusal into a ``rejected(queue_full)``
+    response. ``push_front`` is reserved for fault requeues and
+    deliberately bypasses the bound: a request the service already
+    admitted is never silently dropped by its own recovery path.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[Request] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when a ``push`` would be refused."""
+        return len(self._items) >= self.capacity
+
+    def push(self, request: Request) -> bool:
+        """Admit ``request`` at the tail; False (refused) when full."""
+        if self.full:
+            return False
+        self._items.append(request)
+        return True
+
+    def push_front(self, request: Request) -> None:
+        """Requeue a faulted request at the head (exempt from the bound)."""
+        self._items.appendleft(request)
+
+    def pop(self) -> Request:
+        """Remove and return the oldest request."""
+        return self._items.popleft()
+
+    def peek(self) -> Request:
+        """The oldest request, without removing it."""
+        return self._items[0]
+
+    def min_deadline_s(self) -> float | None:
+        """Earliest deadline among waiting requests; None when none carry one."""
+        deadlines = [r.deadline_s for r in self._items if r.deadline_s is not None]
+        return min(deadlines) if deadlines else None
+
+    def remove_expired(self, now_s: float) -> list[Request]:
+        """Remove and return every request whose deadline is ``<= now_s``.
+
+        Requests at exactly their deadline are removed too: with strictly
+        positive service times they could only ever be delivered late, so
+        dispatching them would burn replica time on a guaranteed timeout.
+        """
+        expired = [
+            r for r in self._items if r.deadline_s is not None and r.deadline_s <= now_s
+        ]
+        if expired:
+            dead = {r.req_id for r in expired}
+            self._items = deque(r for r in self._items if r.req_id not in dead)
+        return expired

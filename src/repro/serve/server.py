@@ -1,0 +1,545 @@
+"""The online inference server: one deterministic discrete-event loop.
+
+:class:`InferenceServer` turns a frozen encoder into a load-servable
+model by composing the pieces of this package around a single event
+loop on virtual time:
+
+- **admission** — :meth:`InferenceServer.submit` stamps the request with
+  the clock, consults the :class:`~repro.serve.cache.LRUFeatureCache`
+  (a hit is served instantly, skipping the encoder entirely), and pushes
+  into the bounded :class:`~repro.serve.queue.RequestQueue`; a full
+  queue rejects at the door (backpressure);
+- **batching** — the :class:`~repro.serve.batcher.MicroBatcher` closes a
+  batch at ``max_batch_size`` requests or ``max_wait_s`` of head-of-line
+  age, whichever first;
+- **dispatch** — the :class:`~repro.serve.replica.ReplicaPool` runs the
+  real NumPy forward on the least-loaded replica, occupying it for a
+  service window estimated by the hardware cost model;
+- **delivery** — completions land back on the loop; requests whose
+  deadline passed get ``timeout`` verdicts, replica faults trigger
+  requeue-once-then-fail.
+
+The loop processes one event per iteration in a fixed priority order
+(completions, then arrivals, then dispatch, then expiry sweeps), so the
+entire schedule — every batch composition, every latency, every verdict
+— is a pure function of (workload, configuration). Numerics are
+schedule-independent by construction: whatever batches the policy forms,
+the delivered features are bit-identical to
+:func:`repro.eval.features.extract_features` on the same images (tested
+in ``tests/test_serve``).
+
+Telemetry: with a bus attached (ideally sharing the server's virtual
+clock), the loop publishes ``serve.queue_depth``/``serve.batch_size``
+gauges, ``serve.batch``/``serve.infer`` spans, and
+``serve.submitted``/``serve.served``/``serve.rejected``/``serve.timeout``
+/``serve.cache_hit``/``serve.cache_miss``/``serve.requeued``/
+``serve.replica_fault`` counters that reconcile exactly:
+``submitted == served + rejected + timed out``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.gpu import GpuSpec
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import LRUFeatureCache, image_digest
+from repro.serve.clock import VirtualClock
+from repro.serve.queue import Request, RequestQueue, Response
+from repro.serve.replica import (
+    Replica,
+    ReplicaError,
+    ReplicaFaultPlan,
+    ReplicaPool,
+    ServiceTimeModel,
+)
+from repro.telemetry import NULL_BUS, TelemetryBus
+
+__all__ = ["ServerStats", "InferenceServer", "latency_stats"]
+
+
+@dataclass
+class ServerStats:
+    """Authoritative serving counters (telemetry mirrors these).
+
+    Every admitted request ends in exactly one of ``served``,
+    ``rejected_queue_full``, ``rejected_replica_failure``, or
+    ``timed_out`` — :meth:`reconciles` is the conservation law the chaos
+    suite asserts under fault injection.
+    """
+
+    submitted: int = 0
+    served: int = 0
+    rejected_queue_full: int = 0
+    rejected_replica_failure: int = 0
+    timed_out: int = 0
+    requeued: int = 0
+    replica_faults: int = 0
+    batches: int = 0
+    batched_images: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def rejected(self) -> int:
+        """Total rejections (backpressure + post-retry replica failures)."""
+        return self.rejected_queue_full + self.rejected_replica_failure
+
+    def reconciles(self) -> bool:
+        """True iff submitted == served + rejected + timed_out."""
+        return self.submitted == self.served + self.rejected + self.timed_out
+
+    def to_json(self) -> dict:
+        """All counters as one flat JSON-ready dict."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_replica_failure": self.rejected_replica_failure,
+            "timed_out": self.timed_out,
+            "requeued": self.requeued,
+            "replica_faults": self.replica_faults,
+            "batches": self.batches,
+            "batched_images": self.batched_images,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+@dataclass
+class _Inflight:
+    """One dispatched batch awaiting its virtual completion instant."""
+
+    finish_s: float
+    batch_id: int
+    replica: Replica
+    requests: list[Request]
+    dispatch_s: float
+    service_s: float
+    features: np.ndarray | None = None
+    error: ReplicaError | None = None
+    attrs: dict = field(default_factory=dict)
+
+
+class InferenceServer:
+    """Deterministic online serving of a frozen encoder.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``encode_features(images) -> (B, W)`` — the frozen
+        MAE/ViT encoder (optionally wrapped with a probe head upstream).
+    services:
+        One service-time model per replica (heterogeneous pools allowed).
+        When omitted, ``n_replicas`` copies of a
+        :class:`~repro.serve.replica.ServiceTimeModel` are built from
+        ``model.cfg.encoder`` and ``gpu``.
+    n_replicas, gpu:
+        Pool size and GCD spec for the default service models
+        (``gpu=None`` uses the Frontier MI250X GCD defaults).
+    max_batch_size, max_wait_s:
+        The micro-batcher's close-on-size / close-on-age knobs.
+    queue_capacity:
+        Bound of the admission queue (backpressure point).
+    cache_capacity:
+        LRU feature-cache entries; ``0`` disables caching.
+    stall_timeout_s:
+        Watchdog: virtual seconds after which a stalled replica's batch
+        is declared failed.
+    clock:
+        The virtual clock; supply your own to share it with a telemetry
+        bus (``TelemetryBus(sink, clock=clock.now)``).
+    telemetry:
+        Bus for gauges/spans/counters; defaults to the disabled bus.
+    fault_plan:
+        Deterministic replica-fault schedule for chaos testing.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        services: list | None = None,
+        n_replicas: int = 1,
+        gpu: GpuSpec | None = None,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.0,
+        queue_capacity: int = 64,
+        cache_capacity: int = 0,
+        stall_timeout_s: float = 1.0,
+        clock: VirtualClock | None = None,
+        telemetry: TelemetryBus | None = None,
+        fault_plan: ReplicaFaultPlan | None = None,
+    ):
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        if stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be positive, got {stall_timeout_s}"
+            )
+        if services is None:
+            try:
+                encoder_cfg = model.cfg.encoder
+            except AttributeError as err:
+                raise ValueError(
+                    "model has no .cfg.encoder; pass explicit per-replica "
+                    "`services` (e.g. FixedServiceModel) instead"
+                ) from err
+            services = [
+                ServiceTimeModel(encoder_cfg, gpu if gpu is not None else GpuSpec())
+            ] * n_replicas
+        self.clock = clock if clock is not None else VirtualClock()
+        self.telemetry = telemetry if telemetry is not None else NULL_BUS
+        self.batcher = MicroBatcher(max_batch_size, max_wait_s)
+        self.queue = RequestQueue(queue_capacity)
+        self.pool = ReplicaPool(model, services)
+        self.cache = LRUFeatureCache(cache_capacity) if cache_capacity else None
+        self.stall_timeout_s = stall_timeout_s
+        self.fault_plan = fault_plan
+        self.stats = ServerStats()
+        self.responses: list[Response] = []
+        self._by_id: dict[int, Response] = {}
+        self._inflight: list[_Inflight] = []
+        self._next_req_id = 0
+        self._next_batch_id = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(
+        self, image: np.ndarray, deadline_s: float | None = None
+    ) -> int:
+        """Admit one image at the current virtual time; returns its req_id.
+
+        The verdict may be immediate (cache hit -> ``ok``; full queue ->
+        ``rejected``); otherwise the request waits for the batcher.
+        ``deadline_s`` is an *absolute* virtual time.
+        """
+        if image.ndim != 3:
+            raise ValueError(f"image must be (C, H, W), got {image.shape}")
+        now = self.clock.now()
+        if deadline_s is not None and deadline_s < now:
+            raise ValueError(
+                f"deadline {deadline_s} is already past (now={now})"
+            )
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        self.stats.submitted += 1
+        self.telemetry.counter("serve.submitted")
+        digest = ""
+        if self.cache is not None:
+            digest = image_digest(image)
+            row = self.cache.get(digest)
+            if row is not None:
+                self.stats.cache_hits += 1
+                self.telemetry.counter("serve.cache_hit")
+                self.stats.served += 1
+                self.telemetry.counter("serve.served")
+                self._finish(
+                    Response(
+                        req_id=req_id,
+                        status="ok",
+                        arrival_s=now,
+                        done_s=now,
+                        features=row,
+                        cache_hit=True,
+                    )
+                )
+                return req_id
+            self.stats.cache_misses += 1
+            self.telemetry.counter("serve.cache_miss")
+        request = Request(
+            req_id=req_id,
+            image=image,
+            arrival_s=now,
+            deadline_s=deadline_s,
+            digest=digest,
+        )
+        if not self.queue.push(request):
+            self.stats.rejected_queue_full += 1
+            self.telemetry.counter("serve.rejected", reason="queue_full")
+            self._finish(
+                Response(
+                    req_id=req_id,
+                    status="rejected",
+                    arrival_s=now,
+                    done_s=now,
+                    reason="queue_full",
+                )
+            )
+            return req_id
+        self.telemetry.gauge("serve.queue_depth", len(self.queue))
+        return req_id
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, workload) -> list[Response]:
+        """Serve a timed workload to completion; returns its responses.
+
+        ``workload`` is a sequence of ``(arrival_s, image)`` or
+        ``(arrival_s, image, deadline_s)`` tuples with non-decreasing
+        arrival times (absolute virtual seconds, not before the clock's
+        current time). The loop drains everything — queue and in-flight
+        batches included — and returns this workload's responses sorted
+        by request id.
+        """
+        arrivals = []
+        for item in workload:
+            t, image, deadline = item if len(item) == 3 else (*item, None)
+            arrivals.append((float(t), image, deadline))
+        for (t0, _, _), (t1, _, _) in zip(arrivals, arrivals[1:]):
+            if t1 < t0:
+                raise ValueError(f"arrival times must be non-decreasing ({t1} < {t0})")
+        if arrivals and arrivals[0][0] < self.clock.now():
+            raise ValueError(
+                f"first arrival {arrivals[0][0]} is before now ({self.clock.now()})"
+            )
+        first_new = len(self.responses)
+        self._loop(arrivals)
+        return sorted(self.responses[first_new:], key=lambda r: r.req_id)
+
+    def drain(self) -> list[Response]:
+        """Run the loop with no new arrivals until queue and replicas are idle."""
+        first_new = len(self.responses)
+        self._loop([])
+        return sorted(self.responses[first_new:], key=lambda r: r.req_id)
+
+    def response_for(self, req_id: int) -> Response | None:
+        """The terminal response of ``req_id``, or None while undecided."""
+        return self._by_id.get(req_id)
+
+    def _loop(self, arrivals: list[tuple]) -> None:
+        i = 0
+        while i < len(arrivals) or len(self.queue) or self._inflight:
+            now = self.clock.now()
+            t_arr = arrivals[i][0] if i < len(arrivals) else None
+            t = self._next_event_s(t_arr, now)
+            self.clock.advance_to(t)
+            if self._deliver_due(t):
+                continue
+            if t_arr is not None and t_arr <= t:
+                _, image, deadline = arrivals[i]
+                i += 1
+                self.submit(image, deadline_s=deadline)
+                continue
+            if self._dispatch_due(t):
+                continue
+            if not self._sweep_expired(t):
+                raise RuntimeError(
+                    f"serving loop made no progress at t={t} "
+                    f"(queue={len(self.queue)}, inflight={len(self._inflight)})"
+                )
+
+    def _next_event_s(self, next_arrival_s: float | None, now: float) -> float:
+        """Earliest instant any event category can fire."""
+        candidates = []
+        if next_arrival_s is not None:
+            candidates.append(next_arrival_s)
+        if self._inflight:
+            candidates.append(min(b.finish_s for b in self._inflight))
+        ready = self.batcher.ready_at(self.queue, now)
+        if ready is not None:
+            candidates.append(max(ready, self.pool.earliest_free_s(now)))
+        deadline = self.queue.min_deadline_s()
+        if deadline is not None:
+            candidates.append(max(deadline, now))
+        return min(candidates)
+
+    # -- event handlers ------------------------------------------------------
+
+    def _dispatch_due(self, now: float) -> bool:
+        """Close and dispatch one batch if the policy and a replica allow."""
+        ready = self.batcher.ready_at(self.queue, now)
+        if ready is None or ready > now:
+            return False
+        if self.pool.earliest_free_s(now) > now:
+            return False
+        # Expired requests must not burn a replica window: time them out
+        # before the batch forms.
+        self._sweep_expired(now)
+        batch = self.batcher.take(self.queue)
+        self.telemetry.gauge("serve.queue_depth", len(self.queue))
+        if not batch:
+            return True  # the sweep consumed the event
+        replica = self.pool.select(now, len(batch))
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        self.stats.batches += 1
+        self.stats.batched_images += len(batch)
+        self.telemetry.gauge(
+            "serve.batch_size", len(batch), replica=replica.replica_id
+        )
+        fault = None
+        if self.fault_plan is not None:
+            fault = self.fault_plan.consult(replica.replica_id, replica.dispatches)
+        images = np.stack([r.image for r in batch])
+        try:
+            features, service_s = replica.run_batch(
+                images, now, fault=fault, stall_timeout_s=self.stall_timeout_s
+            )
+        except ReplicaError as err:
+            self.stats.replica_faults += 1
+            self.telemetry.counter(
+                "serve.replica_fault", kind=err.kind, replica=err.replica_id
+            )
+            self._inflight.append(
+                _Inflight(
+                    finish_s=now + err.detect_delay_s,
+                    batch_id=batch_id,
+                    replica=replica,
+                    requests=batch,
+                    dispatch_s=now,
+                    service_s=err.detect_delay_s,
+                    error=err,
+                )
+            )
+            return True
+        self._inflight.append(
+            _Inflight(
+                finish_s=now + service_s,
+                batch_id=batch_id,
+                replica=replica,
+                requests=batch,
+                dispatch_s=now,
+                service_s=service_s,
+                features=features,
+            )
+        )
+        return True
+
+    def _deliver_due(self, now: float) -> bool:
+        """Deliver every in-flight batch whose completion instant arrived."""
+        due = sorted(
+            (b for b in self._inflight if b.finish_s <= now),
+            key=lambda b: (b.finish_s, b.batch_id),
+        )
+        if not due:
+            return False
+        self._inflight = [b for b in self._inflight if b.finish_s > now]
+        for batch in due:
+            if batch.error is not None:
+                self._deliver_failed(batch)
+            else:
+                self._deliver_ok(batch)
+        return True
+
+    def _deliver_ok(self, batch: _Inflight) -> None:
+        done = batch.finish_s
+        self.telemetry.record_span(
+            "serve.infer",
+            batch.dispatch_s,
+            batch.service_s,
+            replica=batch.replica.replica_id,
+            batch=len(batch.requests),
+        )
+        oldest = min(r.arrival_s for r in batch.requests)
+        self.telemetry.record_span(
+            "serve.batch",
+            oldest,
+            done - oldest,
+            batch_id=batch.batch_id,
+            replica=batch.replica.replica_id,
+            batch=len(batch.requests),
+        )
+        for i, req in enumerate(batch.requests):
+            row = batch.features[i]
+            if self.cache is not None and req.digest:
+                self.cache.put(req.digest, row)
+            # A positive service window means finish > dispatch, so only
+            # requests dispatched strictly before their deadline can
+            # still make it; late completions are honest timeouts.
+            if req.deadline_s is not None and done > req.deadline_s:
+                self.stats.timed_out += 1
+                self.telemetry.counter("serve.timeout", where="inflight")
+                self._finish(
+                    Response(
+                        req_id=req.req_id,
+                        status="timeout",
+                        arrival_s=req.arrival_s,
+                        done_s=done,
+                        replica_id=batch.replica.replica_id,
+                        batch_id=batch.batch_id,
+                    )
+                )
+                continue
+            self.stats.served += 1
+            self.telemetry.counter("serve.served")
+            self._finish(
+                Response(
+                    req_id=req.req_id,
+                    status="ok",
+                    arrival_s=req.arrival_s,
+                    done_s=done,
+                    features=row.copy(),
+                    replica_id=batch.replica.replica_id,
+                    batch_id=batch.batch_id,
+                )
+            )
+
+    def _deliver_failed(self, batch: _Inflight) -> None:
+        done = batch.finish_s
+        # Requeue at the head in original order so recovered requests
+        # keep their place in the FIFO; a request that already burned
+        # its retry is rejected (requeue-once-then-fail).
+        for req in reversed(batch.requests):
+            if req.retries == 0:
+                req.retries = 1
+                self.queue.push_front(req)
+                self.stats.requeued += 1
+                self.telemetry.counter("serve.requeued")
+            else:
+                self.stats.rejected_replica_failure += 1
+                self.telemetry.counter("serve.rejected", reason="replica_failure")
+                self._finish(
+                    Response(
+                        req_id=req.req_id,
+                        status="rejected",
+                        arrival_s=req.arrival_s,
+                        done_s=done,
+                        reason="replica_failure",
+                        replica_id=batch.replica.replica_id,
+                        batch_id=batch.batch_id,
+                    )
+                )
+        self.telemetry.gauge("serve.queue_depth", len(self.queue))
+
+    def _sweep_expired(self, now: float) -> bool:
+        """Time out every queued request whose deadline has arrived."""
+        expired = self.queue.remove_expired(now)
+        for req in expired:
+            self.stats.timed_out += 1
+            self.telemetry.counter("serve.timeout", where="queued")
+            self._finish(
+                Response(
+                    req_id=req.req_id,
+                    status="timeout",
+                    arrival_s=req.arrival_s,
+                    done_s=max(now, req.deadline_s),
+                )
+            )
+        if expired:
+            self.telemetry.gauge("serve.queue_depth", len(self.queue))
+        return bool(expired)
+
+    def _finish(self, response: Response) -> None:
+        if response.req_id in self._by_id:
+            raise RuntimeError(
+                f"request {response.req_id} already has a terminal response"
+            )
+        self._by_id[response.req_id] = response
+        self.responses.append(response)
+
+
+def latency_stats(responses: list[Response]) -> dict:
+    """p50/p99/mean/max latency (ms, virtual) over the ``ok`` responses."""
+    lat = np.array([r.latency_s for r in responses if r.status == "ok"], dtype=float)
+    if lat.size == 0:
+        return {"n_ok": 0, "p50_ms": None, "p99_ms": None, "mean_ms": None, "max_ms": None}
+    return {
+        "n_ok": int(lat.size),
+        "p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "p99_ms": float(np.percentile(lat, 99) * 1e3),
+        "mean_ms": float(lat.mean() * 1e3),
+        "max_ms": float(lat.max() * 1e3),
+    }

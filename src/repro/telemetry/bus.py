@@ -308,6 +308,34 @@ class TelemetryBus:
             )
         )
 
+    def record_span(
+        self, name: str, start_s: float, duration_s: float, **attrs
+    ) -> None:
+        """Emit a span whose extent is already known (no context manager).
+
+        For event-driven layers (the serving loop) a region's start and
+        duration are scheduler facts, not something a ``with`` block can
+        measure — the work is dispatched at one event and delivered at a
+        later one. ``start_s`` is a reading of the bus's own clock (the
+        same values ``clock()`` returns); it is converted to the bus
+        epoch exactly like a live span's start.
+        """
+        if not self._enabled:
+            return
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be non-negative, got {duration_s}")
+        self.sink.emit(
+            TelemetryEvent(
+                kind="span",
+                name=name,
+                value=float(duration_s),
+                t_s=start_s - self._epoch,
+                step=self.step,
+                depth=self._depth,
+                attrs=attrs,
+            )
+        )
+
     def close(self) -> None:
         """Close the attached sink."""
         self.sink.close()

@@ -81,6 +81,19 @@ class TestFeatures:
         chunked = extract_features(model, imgs, batch_size=3)
         np.testing.assert_allclose(all_at_once, chunked, atol=1e-12)
 
+    def test_empty_input_returns_zero_by_width(self, tiny_mae_cfg):
+        # Regression: np.concatenate([]) used to blow up on N == 0.
+        model = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(1))
+        empty = np.zeros((0, 3, 16, 16), dtype=np.float32)
+        feats = extract_features(model, empty)
+        assert feats.shape == (0, tiny_mae_cfg.encoder.width)
+        # Same dtype promotion as the non-empty path (float64 compute).
+        assert feats.dtype == np.float64
+        # Downstream consumers keep working on the empty result.
+        np.testing.assert_array_equal(
+            np.concatenate([feats, feats]), np.zeros((0, tiny_mae_cfg.encoder.width))
+        )
+
     def test_standardize_uses_train_stats(self, rng):
         train = rng.standard_normal((50, 8)) * 3 + 1
         test = rng.standard_normal((20, 8))

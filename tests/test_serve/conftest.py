@@ -1,0 +1,36 @@
+"""Shared serving-test fixtures: a deterministic toy encoder.
+
+The stub computes per-row reductions, so — like the real encoder — each
+output row depends only on its own image, making features bit-identical
+under any batching schedule. It is orders of magnitude faster than the
+ViT, which is what lets the hypothesis property campaign run hundreds of
+full serving schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+class StubEncoder:
+    """Row-independent toy ``encode_features`` (width 4)."""
+
+    width = 4
+
+    def encode_features(self, images: np.ndarray) -> np.ndarray:
+        flat = images.reshape(images.shape[0], -1)
+        return np.stack(
+            [flat.sum(axis=1), flat.min(axis=1), flat.max(axis=1), flat.mean(axis=1)],
+            axis=1,
+        )
+
+
+@pytest.fixture
+def stub_model() -> StubEncoder:
+    return StubEncoder()
+
+
+def stub_images(n: int) -> np.ndarray:
+    """``n`` distinct (2, 2, 2) images, deterministic in ``n``."""
+    return np.arange(n * 8, dtype=np.float64).reshape(n, 2, 2, 2)

@@ -1,0 +1,204 @@
+"""Chaos campaign for the serving path (mirrors ``test_chaos_elastic``).
+
+A replica that stalls or raises mid-batch must trigger
+requeue-once-then-fail semantics: the first failure puts the batch back
+at the head of the queue (no request lost, FIFO order preserved), a
+second failure of the *same request* surfaces as a ``rejected`` response
+with reason ``replica_failure``. Whatever the fault plan, the books must
+reconcile: submitted == served + rejected + timed out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    FixedServiceModel,
+    InferenceServer,
+    ReplicaFaultPlan,
+    ReplicaFaultSpec,
+    VirtualClock,
+)
+from repro.telemetry import RecordingSink, TelemetryBus
+
+from tests.test_serve.conftest import stub_images
+
+pytestmark = pytest.mark.chaos
+
+
+def _server(model, *, fault_plan, services, **kw):
+    clock = VirtualClock()
+    bus = TelemetryBus(RecordingSink(), clock=clock.now)
+    server = InferenceServer(
+        model,
+        services=services,
+        fault_plan=fault_plan,
+        clock=clock,
+        telemetry=bus,
+        **kw,
+    )
+    return server, bus
+
+
+class TestRequeueOnceThenFail:
+    def test_raise_fault_requeues_and_batch_is_served(self, stub_model):
+        plan = ReplicaFaultPlan(
+            [ReplicaFaultSpec(replica_id=0, kind="raise", dispatch_index=0)]
+        )
+        server, _ = _server(
+            stub_model,
+            fault_plan=plan,
+            services=[FixedServiceModel(100.0)],
+            max_batch_size=3,
+            max_wait_s=0.001,
+            queue_capacity=8,
+        )
+        imgs = stub_images(3)
+        responses = server.run([(0.0, imgs[i]) for i in range(3)])
+        assert all(r.status == "ok" for r in responses)
+        # FIFO order survives the requeue: req 0 still finishes first.
+        assert sorted(responses, key=lambda r: r.done_s)[0].req_id == 0
+        s = server.stats
+        assert s.replica_faults == 1
+        assert s.requeued == 3
+        assert s.reconciles()
+        assert plan.pending() == 0
+
+    def test_stall_fault_charges_watchdog_then_serves(self, stub_model):
+        plan = ReplicaFaultPlan(
+            [ReplicaFaultSpec(replica_id=0, kind="stall", dispatch_index=0)]
+        )
+        server, _ = _server(
+            stub_model,
+            fault_plan=plan,
+            services=[FixedServiceModel(100.0)],
+            max_batch_size=2,
+            max_wait_s=0.0,
+            queue_capacity=8,
+            stall_timeout_s=0.25,
+        )
+        [r] = server.run([(0.0, stub_images(1)[0])])
+        assert r.status == "ok"
+        # Delivery waited out the stall watchdog before the retry ran.
+        assert r.done_s >= 0.25
+        assert server.stats.replica_faults == 1
+        assert server.stats.reconciles()
+
+    def test_second_failure_rejects_with_replica_failure(self, stub_model):
+        # times=2 on the only replica: the retry hits the same fault.
+        plan = ReplicaFaultPlan(
+            [ReplicaFaultSpec(replica_id=0, kind="raise", dispatch_index=0, times=2)]
+        )
+        server, bus = _server(
+            stub_model,
+            fault_plan=plan,
+            services=[FixedServiceModel(100.0)],
+            max_batch_size=2,
+            max_wait_s=0.0,
+            queue_capacity=8,
+        )
+        imgs = stub_images(2)
+        responses = server.run([(0.0, imgs[0]), (0.0, imgs[1])])
+        rejected = [r for r in responses if r.status == "rejected"]
+        assert len(rejected) == 2
+        assert all(r.reason == "replica_failure" for r in rejected)
+        s = server.stats
+        assert s.replica_faults == 2
+        assert s.rejected_replica_failure == 2
+        assert s.reconciles()
+        counters = {}
+        for e in bus.sink.events:
+            if e.kind == "counter":
+                counters[e.name] = counters.get(e.name, 0) + int(e.value)
+        assert counters["serve.replica_fault"] == 2
+        assert counters["serve.requeued"] == 2
+
+    def test_stall_window_routes_traffic_to_healthy_replica(self, stub_model):
+        # Replica 0 stalls on its first batch and is charged a 5 s
+        # watchdog window. A request arriving inside that window must be
+        # dispatched to the healthy replica 1 — least-loaded selection
+        # sees the stalled replica's busy_until and routes around it.
+        # The requeued victim retries after the watchdog expires.
+        plan = ReplicaFaultPlan(
+            [ReplicaFaultSpec(replica_id=0, kind="stall", dispatch_index=0)]
+        )
+        server, _ = _server(
+            stub_model,
+            fault_plan=plan,
+            services=[FixedServiceModel(1000.0), FixedServiceModel(900.0)],
+            max_batch_size=1,
+            max_wait_s=0.0,
+            queue_capacity=8,
+            stall_timeout_s=5.0,
+        )
+        imgs = stub_images(2)
+        r0, r1 = server.run([(0.0, imgs[0]), (1.0, imgs[1])])
+        assert (r0.status, r1.status) == ("ok", "ok")
+        # req 1 arrived mid-stall: served by replica 1, long before the
+        # watchdog fires.
+        assert r1.replica_id == 1 and r1.done_s < 5.0
+        # The stalled request retried only after the watchdog window.
+        assert r0.done_s >= 5.0
+        assert server.stats.replica_faults == 1
+        assert server.stats.requeued == 1
+        assert server.stats.reconciles()
+
+
+class TestSeededChaosCampaign:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 11])
+    def test_randomized_fault_plans_always_reconcile(self, stub_model, seed):
+        plan = ReplicaFaultPlan.seeded(
+            seed, n_faults=4, n_replicas=2, max_dispatch_index=6
+        )
+        server, bus = _server(
+            stub_model,
+            fault_plan=plan,
+            services=[FixedServiceModel(200.0), FixedServiceModel(150.0)],
+            max_batch_size=3,
+            max_wait_s=0.002,
+            queue_capacity=6,
+            cache_capacity=4,
+            stall_timeout_s=0.05,
+        )
+        imgs = stub_images(8)
+        workload = [
+            (i * 0.001, imgs[i % 8], 0.5 + i * 0.01) for i in range(30)
+        ]
+        responses = server.run(workload)
+        s = server.stats
+        # The one invariant chaos must never break.
+        assert s.reconciles()
+        assert len(responses) == 30
+        assert len({r.req_id for r in responses}) == 30
+        # Bus counters tell the same story as the server's books.
+        counters = {}
+        for e in bus.sink.events:
+            if e.kind == "counter":
+                counters[e.name] = counters.get(e.name, 0) + int(e.value)
+        assert counters["serve.submitted"] == 30
+        assert (
+            counters["serve.submitted"]
+            == counters.get("serve.served", 0)
+            + counters.get("serve.rejected", 0)
+            + counters.get("serve.timeout", 0)
+        )
+
+    def test_campaign_replays_bit_identically(self, stub_model):
+        def one_run():
+            server, _ = _server(
+                stub_model,
+                fault_plan=ReplicaFaultPlan.seeded(5, n_faults=3, n_replicas=2),
+                services=[FixedServiceModel(200.0)] * 2,
+                max_batch_size=3,
+                max_wait_s=0.002,
+                queue_capacity=6,
+                stall_timeout_s=0.05,
+            )
+            imgs = stub_images(6)
+            resp = server.run([(i * 0.001, imgs[i % 6]) for i in range(18)])
+            return [
+                (r.req_id, r.status, r.done_s, r.replica_id, r.reason)
+                for r in resp
+            ]
+
+        assert one_run() == one_run()

@@ -1,0 +1,170 @@
+"""Unit tests: clock, queue, batcher, and the LRU feature cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import LRUFeatureCache, image_digest
+from repro.serve.clock import VirtualClock
+from repro.serve.queue import Request, RequestQueue, Response
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        c = VirtualClock()
+        assert c.now() == 0.0
+        assert c.advance(1.5) == 1.5
+        assert c.advance_to(4.0) == 4.0
+        assert c.now() == 4.0
+
+    def test_advance_to_same_instant_is_noop(self):
+        c = VirtualClock(2.0)
+        assert c.advance_to(2.0) == 2.0
+
+    def test_monotonicity_enforced(self):
+        c = VirtualClock(3.0)
+        with pytest.raises(ValueError, match="rewind"):
+            c.advance_to(1.0)
+        with pytest.raises(ValueError, match="negative"):
+            c.advance(-0.1)
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+
+def _req(req_id, arrival=0.0, deadline=None):
+    return Request(
+        req_id=req_id,
+        image=np.zeros((1, 2, 2)),
+        arrival_s=arrival,
+        deadline_s=deadline,
+    )
+
+
+class TestRequestQueue:
+    def test_fifo_and_bound(self):
+        q = RequestQueue(capacity=2)
+        assert q.push(_req(0)) and q.push(_req(1))
+        assert q.full
+        assert not q.push(_req(2))  # backpressure
+        assert q.pop().req_id == 0
+        assert q.push(_req(3))
+        assert [q.pop().req_id, q.pop().req_id] == [1, 3]
+
+    def test_push_front_bypasses_bound(self):
+        q = RequestQueue(capacity=1)
+        q.push(_req(0))
+        q.push_front(_req(1))  # fault requeue must never drop
+        assert len(q) == 2
+        assert q.pop().req_id == 1
+
+    def test_remove_expired_is_deadline_inclusive(self):
+        q = RequestQueue(capacity=8)
+        q.push(_req(0, deadline=1.0))
+        q.push(_req(1, deadline=5.0))
+        q.push(_req(2))  # no deadline: never expires
+        assert q.min_deadline_s() == 1.0
+        gone = q.remove_expired(1.0)
+        assert [r.req_id for r in gone] == [0]
+        assert len(q) == 2 and q.min_deadline_s() == 5.0
+        assert q.remove_expired(100.0)[0].req_id == 1
+        assert len(q) == 1  # the deadline-less request survives
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RequestQueue(0)
+
+
+class TestMicroBatcher:
+    def test_closes_on_size(self):
+        b = MicroBatcher(max_batch_size=2, max_wait_s=10.0)
+        q = RequestQueue(8)
+        q.push(_req(0, arrival=0.0))
+        assert b.ready_at(q, now_s=0.0) == 10.0  # age trigger, far out
+        q.push(_req(1, arrival=1.0))
+        assert b.ready_at(q, now_s=1.0) == 1.0  # size trigger: now
+
+    def test_closes_on_age_of_oldest(self):
+        b = MicroBatcher(max_batch_size=100, max_wait_s=0.5)
+        q = RequestQueue(8)
+        q.push(_req(0, arrival=2.0))
+        q.push(_req(1, arrival=2.4))
+        assert b.ready_at(q, now_s=2.4) == 2.5  # oldest + max_wait
+        assert b.ready_at(q, now_s=3.0) == 3.0  # already overdue: now
+
+    def test_empty_queue_never_ready(self):
+        assert MicroBatcher().ready_at(RequestQueue(4), 0.0) is None
+
+    def test_take_caps_at_max_batch_size(self):
+        b = MicroBatcher(max_batch_size=3)
+        q = RequestQueue(8)
+        for i in range(5):
+            q.push(_req(i))
+        assert [r.req_id for r in b.take(q)] == [0, 1, 2]
+        assert [r.req_id for r in b.take(q)] == [3, 4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            MicroBatcher(max_wait_s=-1.0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            MicroBatcher(max_wait_s=float("inf"))
+
+
+class TestResponse:
+    def test_status_and_reason_validated(self):
+        with pytest.raises(ValueError, match="status"):
+            Response(req_id=0, status="lost", arrival_s=0.0, done_s=1.0)
+        with pytest.raises(ValueError, match="reason"):
+            Response(req_id=0, status="rejected", arrival_s=0.0, done_s=1.0)
+
+    def test_latency(self):
+        r = Response(req_id=0, status="ok", arrival_s=1.0, done_s=3.5)
+        assert r.latency_s == 2.5
+
+
+class TestFeatureCache:
+    def test_digest_distinguishes_content_shape_dtype(self):
+        a = np.arange(8.0).reshape(2, 4)
+        assert image_digest(a) == image_digest(a.copy())
+        assert image_digest(a) != image_digest(a.reshape(4, 2))
+        assert image_digest(a) != image_digest(a.astype(np.float32))
+        b = a.copy()
+        b[0, 0] += 1
+        assert image_digest(a) != image_digest(b)
+
+    def test_digest_of_noncontiguous_view(self):
+        a = np.arange(16.0).reshape(4, 4)
+        view = a[:, ::2]
+        assert image_digest(view) == image_digest(np.ascontiguousarray(view))
+
+    def test_hit_returns_copy_and_counts(self):
+        c = LRUFeatureCache(capacity=4)
+        row = np.array([1.0, 2.0])
+        c.put("k", row)
+        got = c.get("k")
+        np.testing.assert_array_equal(got, row)
+        got[0] = 99.0
+        np.testing.assert_array_equal(c.get("k"), row)  # stored row untouched
+        assert c.get("missing") is None
+        assert (c.hits, c.misses) == (2, 1)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction_order_respects_use(self):
+        c = LRUFeatureCache(capacity=2)
+        c.put("a", np.array([1.0]))
+        c.put("b", np.array([2.0]))
+        assert c.get("a") is not None  # refresh 'a': now 'b' is LRU
+        c.put("c", np.array([3.0]))
+        assert "b" not in c and "a" in c and "c" in c
+        assert len(c) == 2
+
+    def test_put_refresh_does_not_grow(self):
+        c = LRUFeatureCache(capacity=2)
+        c.put("a", np.array([1.0]))
+        c.put("a", np.array([1.0]))
+        assert len(c) == 1
+        with pytest.raises(ValueError, match="capacity"):
+            LRUFeatureCache(0)

@@ -1,0 +1,158 @@
+"""Property campaign (hypothesis): micro-batcher invariants under
+arbitrary arrival sequences.
+
+For any workload and any batcher/queue/pool configuration:
+
+- **conservation** — every submitted request gets exactly one terminal
+  response: none dropped, none duplicated;
+- **deadline honesty** — no request is served past its deadline; a
+  missed deadline always surfaces as a recorded ``timeout``;
+- **batch bound** — no dispatched batch exceeds ``max_batch_size``;
+- **replica exclusivity** — service windows on one replica never
+  overlap;
+- **counter reconciliation** — ``submitted == served + rejected +
+  timed out`` on the server's own books and on the telemetry bus.
+
+Everything runs on virtual time, so hundreds of schedules execute in
+milliseconds and every failing example shrinks to a replayable seed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    FixedServiceModel,
+    InferenceServer,
+    VirtualClock,
+)
+from repro.telemetry import RecordingSink, TelemetryBus
+
+from tests.test_serve.conftest import StubEncoder
+
+
+def _finite(lo, hi):
+    return st.floats(min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False)
+
+
+#: One request: (inter-arrival gap, relative deadline | None).
+request_st = st.tuples(
+    _finite(0.0, 0.05), st.one_of(st.none(), _finite(0.001, 0.2))
+)
+
+config_st = st.fixed_dictionaries(
+    {
+        "max_batch_size": st.integers(1, 8),
+        "max_wait_s": _finite(0.0, 0.02),
+        "queue_capacity": st.integers(1, 16),
+        "n_replicas": st.integers(1, 3),
+        "images_per_s": _finite(20.0, 2000.0),
+        "cache_capacity": st.sampled_from([0, 4]),
+    }
+)
+
+
+def _run(requests, cfg):
+    clock = VirtualClock()
+    bus = TelemetryBus(RecordingSink(), clock=clock.now)
+    server = InferenceServer(
+        StubEncoder(),
+        services=[FixedServiceModel(cfg["images_per_s"])] * cfg["n_replicas"],
+        max_batch_size=cfg["max_batch_size"],
+        max_wait_s=cfg["max_wait_s"],
+        queue_capacity=cfg["queue_capacity"],
+        cache_capacity=cfg["cache_capacity"],
+        clock=clock,
+        telemetry=bus,
+    )
+    t = 0.0
+    workload = []
+    for i, (gap, rel_deadline) in enumerate(requests):
+        t += gap
+        image = np.full((1, 2, 2), float(i % 5))
+        deadline = t + rel_deadline if rel_deadline is not None else None
+        workload.append((t, image, deadline))
+    responses = server.run(workload)
+    return server, bus, workload, responses
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=st.lists(request_st, min_size=1, max_size=40), cfg=config_st)
+def test_conservation_and_deadline_honesty(requests, cfg):
+    server, bus, workload, responses = _run(requests, cfg)
+
+    # Conservation: exactly one terminal response per request.
+    ids = Counter(r.req_id for r in responses)
+    assert sorted(ids) == list(range(len(requests)))
+    assert all(count == 1 for count in ids.values())
+
+    # Deadline honesty: ok responses meet their deadline; a missed
+    # deadline is always a recorded timeout, never silence or a late ok.
+    deadlines = {i: w[2] for i, w in enumerate(workload)}
+    for r in responses:
+        d = deadlines[r.req_id]
+        if r.status == "ok" and d is not None:
+            assert r.done_s <= d
+        if r.status == "timeout":
+            assert d is not None
+        assert r.done_s >= r.arrival_s  # virtual time never rewinds
+
+    # Reconciliation, on the server's books and on the bus.
+    s = server.stats
+    assert s.reconciles()
+    counters = Counter()
+    for e in bus.sink.events:
+        if e.kind == "counter":
+            counters[e.name] += int(e.value)
+    assert counters["serve.submitted"] == s.submitted == len(requests)
+    assert (
+        counters["serve.submitted"]
+        == counters["serve.served"]
+        + counters["serve.rejected"]
+        + counters["serve.timeout"]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=st.lists(request_st, min_size=1, max_size=40), cfg=config_st)
+def test_batch_bound_and_replica_exclusivity(requests, cfg):
+    server, bus, _, responses = _run(requests, cfg)
+
+    # Batch sizes never exceed the configured bound.
+    batch_sizes = [
+        e.value for e in bus.sink.events if e.name == "serve.batch_size"
+    ]
+    assert all(1 <= b <= cfg["max_batch_size"] for b in batch_sizes)
+
+    # Per-replica service windows never overlap (one batch at a time).
+    spans = defaultdict(list)
+    for e in bus.sink.events:
+        if e.kind == "span" and e.name == "serve.infer":
+            spans[e.attrs["replica"]].append((e.t_s, e.t_s + e.value))
+    for windows in spans.values():
+        windows.sort()
+        for (_, end_a), (start_b, _) in zip(windows, windows[1:]):
+            assert start_b >= end_a - 1e-12
+
+    # Features delivered are the stub's exact rows (row-independence),
+    # even through the cache.
+    for r in responses:
+        if r.status == "ok":
+            assert r.features.shape == (4,)
+
+
+@settings(max_examples=25, deadline=None)
+@given(requests=st.lists(request_st, min_size=1, max_size=25), cfg=config_st)
+def test_schedules_replay_bit_identically(requests, cfg):
+    def fingerprint():
+        server, _, _, responses = _run(requests, cfg)
+        return [
+            (r.req_id, r.status, r.done_s, r.replica_id, r.batch_id, r.cache_hit)
+            for r in responses
+        ]
+
+    assert fingerprint() == fingerprint()

@@ -63,6 +63,31 @@ def test_span_nesting_depth_and_timing():
     assert bus._depth == 0
 
 
+def test_record_span_emits_explicit_duration():
+    # Event-driven code (the serving loop) knows start and duration
+    # directly rather than bracketing a with-block.
+    sink = RecordingSink()
+    clock = FakeClock(tick=1.0)
+    bus = TelemetryBus(sink, clock=clock)
+    bus.set_step(2)
+    bus.record_span("serve.infer", start_s=5.0, duration_s=0.25, replica=1)
+    [e] = sink.events
+    assert e.kind == "span" and e.name == "serve.infer"
+    # t_s is relative to the bus epoch (FakeClock read 0.0 at init).
+    assert e.t_s == pytest.approx(5.0)
+    assert e.value == pytest.approx(0.25)
+    assert e.step == 2
+    assert e.attrs == {"replica": 1}
+    with pytest.raises(ValueError, match="duration"):
+        bus.record_span("x", start_s=0.0, duration_s=-1.0)
+
+
+def test_record_span_is_noop_when_disabled():
+    bus = TelemetryBus()
+    bus.record_span("x", start_s=0.0, duration_s=1.0)  # must not raise
+    assert not bus.enabled
+
+
 def test_span_depth_restored_when_body_raises():
     sink = RecordingSink()
     bus = TelemetryBus(sink)
