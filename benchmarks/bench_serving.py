@@ -17,6 +17,12 @@ Three phases:
   machine-independent.
 - **cache** — repeat-heavy traffic over a small working set; reports
   the steady-state hit rate.
+- **threaded encoder** — the saturation burst again with
+  ``intra_op_threads=THREADED_ENCODER_THREADS``; reports threaded
+  serving images/s and asserts delivered features are bit-identical to
+  direct ``extract_features`` on a model threaded with the *same* pool
+  size (thread count is part of the numerical configuration — see
+  ``repro.backend.threads``).
 
 Run directly (``python benchmarks/bench_serving.py``) or through pytest.
 """
@@ -54,6 +60,8 @@ LATENCY_REPLICAS = (1, 4)
 
 CACHE_REQUESTS = 240
 CACHE_WORKING_SET = 16
+
+THREADED_ENCODER_THREADS = 4
 
 
 def _model_and_images(n: int):
@@ -183,6 +191,49 @@ def _cache(model, images) -> dict:
     }
 
 
+# -- phase 4: threaded encoder -------------------------------------------------
+
+
+def _threaded(model, images) -> dict:
+    """Saturation burst with a threaded encoder; bit-identity checked
+    against direct extract_features at the same pool size."""
+    n = len(images)
+    server = InferenceServer(
+        model,
+        services=[FixedServiceModel(1e6)],
+        max_batch_size=GATE_BATCH,
+        max_wait_s=0.0,
+        queue_capacity=n,
+        intra_op_threads=THREADED_ENCODER_THREADS,
+    )
+    try:
+        workload = [(0.0, images[i]) for i in range(n)]
+        t0 = time.perf_counter()
+        responses = server.run(workload)
+        serving = n / (time.perf_counter() - t0)
+        assert all(r.status == "ok" for r in responses)
+        assert server.stats.reconciles()
+        # The server attached its pool to the (shared) model, so this
+        # direct pass is threaded with the same count — the comparison
+        # the numerics contract actually guarantees.
+        direct = extract_features(model, images, batch_size=GATE_BATCH)
+        by_id = {r.req_id: r.features for r in responses}
+        ids = sorted(by_id)
+        bit_identical = all(
+            np.array_equal(by_id[req_id], direct[i])
+            for i, req_id in enumerate(ids)
+        )
+    finally:
+        server.close()
+        model.use_gemm_pool(None)
+    return {
+        "threads": THREADED_ENCODER_THREADS,
+        "n_images": n,
+        "serving_images_per_s": serving,
+        "bit_identical_to_direct": bool(bit_identical),
+    }
+
+
 # -- driver --------------------------------------------------------------------
 
 
@@ -192,6 +243,7 @@ def run_serving() -> dict:
     sat = _saturation(model, images)
     lat = _latency(model, images)
     cache = _cache(model, images)
+    threaded = _threaded(model, images)
     return {
         "schema": 1,
         "gate": {
@@ -203,6 +255,7 @@ def run_serving() -> dict:
         "throughput": sat,
         "latency": lat,
         "cache": cache,
+        "threaded": threaded,
     }
 
 
@@ -232,6 +285,13 @@ def render_serving(result: dict) -> str:
         f"({c['hit_rate']:.1%}) over a working set of {c['working_set']}; "
         f"encoder ran on {c['encoded_images']} images"
     )
+    th = result.get("threaded")
+    if th:
+        lines.append(
+            f"threaded encoder ({th['threads']} threads): "
+            f"{th['serving_images_per_s']:.0f} img/s serving, "
+            f"bit-identical to direct: {th['bit_identical_to_direct']}"
+        )
     return "\n".join(lines)
 
 
@@ -258,6 +318,11 @@ def _assert_gates(result: dict) -> None:
     c = result["cache"]
     assert c["hit_rate"] > 0.5
     assert c["encoded_images"] < c["requests"]
+    th = result["threaded"]
+    assert th["bit_identical_to_direct"], (
+        "threaded serving features diverged from direct extract_features "
+        f"at {th['threads']} threads"
+    )
 
 
 def test_serving(benchmark):

@@ -1,12 +1,14 @@
 """Compare fresh bench artifacts against the committed baselines.
 
-Covers ``BENCH_hotpath.json`` (substrate training throughput) and
-``BENCH_serving.json`` (online serving throughput/saturation).
+Covers ``BENCH_hotpath.json`` (substrate training throughput),
+``BENCH_serving.json`` (online serving throughput/saturation), and
+``BENCH_multicore.json`` (process-backend speedup and bit-identity).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py      # fresh run
     PYTHONPATH=src python benchmarks/bench_serving.py      # fresh run
+    PYTHONPATH=src python benchmarks/bench_multicore.py    # fresh run
     python benchmarks/check_regression.py                  # diff vs baselines
     python benchmarks/check_regression.py --update         # bless current runs
 
@@ -17,18 +19,24 @@ fail; bless them into the baseline with ``--update`` to tighten the bar.
 
 Absolute throughput is machine-dependent: the committed baseline is only
 meaningful when fresh run and baseline come from the same machine class.
-Two gates are machine-*relative* and checked against the artifact's own
-threshold rather than the baseline: the attention fused-vs-naive speedup
-(1.3x) and the serving saturation ratio (serving >= 0.9x offline
-inference on the same replica set). A missing serving artifact is only a
-warning, so the hotpath-only workflow keeps working.
+Several gates are machine-*relative* and checked against the artifact's
+own threshold rather than the baseline: the attention fused-vs-naive
+speedup (1.3x), the serving saturation ratio (serving >= 0.9x offline
+inference on the same replica set), and the multicore critical-path
+speedup (process backend >= 2.5x inline at 4 workers) plus its fp32
+bit-identity flag. The hotpath artifact is required; serving and
+multicore artifacts are optional — missing ones are reported with the
+command that produces them, never a traceback. ``--update`` blesses
+every baseline whose fresh artifact exists in one atomic batch
+(stage-then-rename, so an interrupted update never leaves a half-new
+baseline set).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import shutil
+import os
 import sys
 from pathlib import Path
 
@@ -37,7 +45,16 @@ FRESH = HERE / "BENCH_hotpath.json"
 BASELINE = HERE / "BENCH_hotpath.baseline.json"
 SERVING_FRESH = HERE / "BENCH_serving.json"
 SERVING_BASELINE = HERE / "BENCH_serving.baseline.json"
+MULTICORE_FRESH = HERE / "BENCH_multicore.json"
+MULTICORE_BASELINE = HERE / "BENCH_multicore.baseline.json"
 DEFAULT_THRESHOLD = 0.15
+
+#: Optional artifact -> (baseline path, producing command). The hotpath
+#: artifact is handled separately because it is required.
+OPTIONAL_ARTIFACTS = {
+    "serving": (SERVING_FRESH, SERVING_BASELINE, "bench_serving.py"),
+    "multicore": (MULTICORE_FRESH, MULTICORE_BASELINE, "bench_multicore.py"),
+}
 
 
 def compare(
@@ -91,6 +108,37 @@ def compare_serving(
     return problems
 
 
+def compare_multicore(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regressions in the multicore artifact (empty = pass).
+
+    Both gates are machine-relative (CPU-clock ratios), so they are read
+    from the fresh artifact's own gate block; the baseline additionally
+    catches a speedup that silently eroded more than ``threshold`` below
+    the last blessed run.
+    """
+    problems: list[str] = []
+    gate = fresh.get("gate", {})
+    if not gate.get("bit_identical", False):
+        problems.append("multicore: process backend no longer fp32 bit-identical")
+    got = gate.get("speedup", 0.0)
+    if got < gate.get("threshold", 0.0):
+        problems.append(
+            f"multicore speedup {got:.2f}x at {gate.get('workers')} workers "
+            f"below its own {gate.get('threshold')}x gate"
+        )
+    want = baseline.get("gate", {}).get("speedup", 0.0)
+    if want > 0:
+        change = (got - want) / want
+        if change < -threshold:
+            problems.append(
+                f"multicore: {got:.2f}x speedup vs baseline {want:.2f}x "
+                f"({change:+.1%}, allowed -{threshold:.0%})"
+            )
+    return problems
+
+
 def render_serving(fresh: dict, baseline: dict) -> str:
     """One-line serving throughput comparison."""
     got = fresh.get("throughput", {})
@@ -100,6 +148,18 @@ def render_serving(fresh: dict, baseline: dict) -> str:
     return (
         f"{'serving':<12} {w:>10.1f} {g:>10.1f} {change:>+7.1%}   "
         f"(saturation {fresh.get('gate', {}).get('saturation_ratio', 0.0):.3f}x)"
+    )
+
+
+def render_multicore(fresh: dict, baseline: dict) -> str:
+    """One-line multicore speedup comparison."""
+    g = fresh.get("gate", {}).get("speedup", 0.0)
+    w = baseline.get("gate", {}).get("speedup", 0.0)
+    change = g / w - 1.0 if w > 0 else 0.0
+    identical = fresh.get("gate", {}).get("bit_identical", False)
+    return (
+        f"{'multicore':<12} {w:>9.2f}x {g:>9.2f}x {change:>+7.1%}   "
+        f"(bit-identical {identical})"
     )
 
 
@@ -119,6 +179,33 @@ def render(fresh: dict, baseline: dict) -> str:
     return "\n".join(lines)
 
 
+def update_baselines() -> list[str]:
+    """Bless every present fresh artifact atomically; returns messages.
+
+    All staging copies are written first; the renames happen only after
+    every copy succeeded, so a failure mid-update leaves the committed
+    baselines exactly as they were (rename within a directory is atomic
+    on POSIX).
+    """
+    pending: list[tuple[Path, Path]] = [(FRESH, BASELINE)]
+    for _, (fresh_path, baseline_path, _cmd) in OPTIONAL_ARTIFACTS.items():
+        if fresh_path.exists():
+            pending.append((fresh_path, baseline_path))
+    staged: list[tuple[Path, Path]] = []
+    try:
+        for fresh_path, baseline_path in pending:
+            tmp = baseline_path.with_suffix(".json.tmp")
+            tmp.write_text(fresh_path.read_text())
+            staged.append((tmp, baseline_path))
+        for tmp, baseline_path in staged:
+            os.replace(tmp, baseline_path)
+    except BaseException:
+        for tmp, _ in staged:
+            tmp.unlink(missing_ok=True)
+        raise
+    return [f"baseline updated from {fresh_path}" for fresh_path, _ in pending]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -136,7 +223,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update",
         action="store_true",
-        help="copy the fresh artifact over the baseline and exit 0",
+        help="bless all present fresh artifacts as the baselines and exit 0",
     )
     args = parser.parse_args(argv)
 
@@ -146,11 +233,8 @@ def main(argv: list[str] | None = None) -> int:
     fresh = json.loads(args.fresh.read_text())
 
     if args.update:
-        shutil.copyfile(args.fresh, args.baseline)
-        print(f"baseline updated from {args.fresh}")
-        if SERVING_FRESH.exists():
-            shutil.copyfile(SERVING_FRESH, SERVING_BASELINE)
-            print(f"baseline updated from {SERVING_FRESH}")
+        for line in update_baselines():
+            print(line)
         return 0
 
     if not args.baseline.exists():
@@ -161,16 +245,21 @@ def main(argv: list[str] | None = None) -> int:
     print(render(fresh, baseline))
     problems = compare(fresh, baseline, threshold=args.threshold)
 
-    if SERVING_FRESH.exists() and SERVING_BASELINE.exists():
-        serving_fresh = json.loads(SERVING_FRESH.read_text())
-        serving_baseline = json.loads(SERVING_BASELINE.read_text())
-        print(render_serving(serving_fresh, serving_baseline))
-        problems += compare_serving(
-            serving_fresh, serving_baseline, threshold=args.threshold
-        )
-    elif SERVING_FRESH.exists() or SERVING_BASELINE.exists():
-        print("serving: fresh artifact and baseline incomplete; skipping "
-              "(run bench_serving.py, then --update)")
+    renderers = {"serving": render_serving, "multicore": render_multicore}
+    comparers = {"serving": compare_serving, "multicore": compare_multicore}
+    for name, (fresh_path, baseline_path, cmd) in OPTIONAL_ARTIFACTS.items():
+        if fresh_path.exists() and baseline_path.exists():
+            opt_fresh = json.loads(fresh_path.read_text())
+            opt_baseline = json.loads(baseline_path.read_text())
+            print(renderers[name](opt_fresh, opt_baseline))
+            problems += comparers[name](
+                opt_fresh, opt_baseline, threshold=args.threshold
+            )
+        elif fresh_path.exists() or baseline_path.exists():
+            print(
+                f"{name}: fresh artifact and baseline incomplete; skipping "
+                f"(run {cmd} first, then --update)"
+            )
 
     if problems:
         print("\nREGRESSION:")

@@ -34,6 +34,12 @@ the README's "API tour" for the blessed public surface re-exported
 here (engines, trainers, telemetry, data, eval).
 """
 
+from repro.backend import (
+    BACKEND_CHOICES,
+    GemmPool,
+    WorkerCrashError,
+    WorkerStepError,
+)
 from repro.comm.world import Group, World, make_hybrid_mesh
 from repro.core.config import (
     MAEConfig,
@@ -105,6 +111,10 @@ __all__ = [
     "EngineConfig",
     "make_engine",
     "STRATEGY_CHOICES",
+    "BACKEND_CHOICES",
+    "GemmPool",
+    "WorkerCrashError",
+    "WorkerStepError",
     "FSDPEngine",
     "DDPEngine",
     "MAEPretrainer",

@@ -1,0 +1,60 @@
+"""Execution backends: where rank-SPMD compute actually runs.
+
+The engines in :mod:`repro.core` simulate a multi-rank job; this package
+decides what executes a rank's forward/backward:
+
+``inline`` (default)
+    Every rank runs sequentially in the calling process — the original
+    single-core behavior, now behind the same seam.
+``process``
+    Each rank is a spawned OS process sharing flat parameters and a
+    gradient staging block through ``multiprocessing.shared_memory``
+    (:mod:`repro.backend.process`). fp32 steps are bit-identical to
+    inline (tested); multi-core hosts get real step-level parallelism.
+
+Orthogonally, :class:`~repro.backend.threads.GemmPool` adds intra-op
+thread parallelism to the fused GEMM kernels (blocked tiles over
+released-GIL ``np.matmul``), sized by ``EngineConfig.intra_op_threads``
+and shareable with :mod:`repro.serve` replica inference.
+
+Select via config — engines call :func:`make_backend` internally::
+
+    engine = make_engine(model, "full_shard", world=World(4),
+                         config=EngineConfig(backend="process",
+                                             intra_op_threads=4))
+    ...
+    engine.close()   # join workers, unlink /dev/shm segments
+"""
+
+from repro.backend.inline import ExecutionBackend, InlineBackend
+from repro.backend.process import ProcessBackend, WorkerCrashError, WorkerStepError
+from repro.backend.shm import ShmArena, sweep_segments
+from repro.backend.threads import GemmPool
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "ExecutionBackend",
+    "GemmPool",
+    "InlineBackend",
+    "ProcessBackend",
+    "ShmArena",
+    "WorkerCrashError",
+    "WorkerStepError",
+    "make_backend",
+    "sweep_segments",
+]
+
+#: Backend names accepted by ``EngineConfig(backend=...)``.
+BACKEND_CHOICES = ("inline", "process")
+
+
+def make_backend(engine) -> ExecutionBackend:
+    """Build the execution backend selected by ``engine.config.backend``."""
+    backend = engine.config.backend
+    if backend == "inline":
+        return InlineBackend(engine)
+    if backend == "process":
+        return ProcessBackend(engine)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}"
+    )

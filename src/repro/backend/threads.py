@@ -1,0 +1,158 @@
+"""Intra-op thread pool: blocked GEMM tiles over released-GIL ``matmul``.
+
+NumPy's ``np.matmul`` releases the GIL while it runs, so several Python
+threads issuing matmuls on *disjoint contiguous blocks* genuinely
+overlap on a multi-core host. :class:`GemmPool` uses the simplest
+decomposition with no K-split and therefore no re-association:
+row-partition the left operand (and the output) for 2-D GEMMs,
+batch-partition the leading axis for stacked (ViT attention) GEMMs.
+
+**Determinism contract.** For a fixed ``n_threads`` the tile bounds are
+a pure function of the operand shapes, so results are bit-identical
+across runs and across execution backends (inline vs process) — the
+property the cross-backend differential suite and the regression gates
+rely on. *Across* thread counts, results may differ at the ulp level:
+each tile is handed to BLAS as its own GEMM, and BLAS picks kernels (and
+thus K-accumulation rounding) by operand shape/stride — observable with
+strided operands such as ``weight.data.T``. This is the same semantics
+``OMP_NUM_THREADS`` has for OpenBLAS/MKL: thread count is part of the
+numerical configuration (see DESIGN §12).
+
+Sizing comes from ``EngineConfig(intra_op_threads=...)`` (training) or
+``InferenceServer(intra_op_threads=...)`` (serving); the pool is
+attached to a model tree with :meth:`repro.models.module.Module.use_gemm_pool`
+and every :class:`~repro.models.layers.Linear` / attention contraction
+routes through it via ``Module._matmul``.
+
+Because the bench host may have fewer physical cores than the pool has
+threads, the pool keeps *critical-path* accounting: each tile task
+measures its own ``time.thread_time`` (CPU time, scheduler-independent),
+and per dispatch the pool accumulates both the serial sum and the
+maximum over tiles. ``benchmarks/bench_multicore.py`` converts that into
+an effective step time — what the same step costs wall-clock on a host
+with enough cores (see DESIGN §12).
+
+Pools pickle by construction arguments only (``__reduce__``), so a model
+carrying a pool can be shipped to spawn workers — each process rebuilds
+its own executor lazily.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = ["GemmPool"]
+
+#: Below this many rows (or batch items per thread) a dispatch is not
+#: worth the task overhead; the GEMM runs fused on the calling thread.
+MIN_ROWS_PER_THREAD = 16
+
+
+class GemmPool:
+    """Shared worker pool dispatching blocked matmul tiles.
+
+    Parameters
+    ----------
+    n_threads:
+        Worker threads. ``1`` makes every call a plain fused
+        ``np.matmul`` (no executor is ever created).
+    """
+
+    def __init__(self, n_threads: int):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        self.n_threads = n_threads
+        self._ex: ThreadPoolExecutor | None = None
+        #: Blocked dispatches issued (fused fallbacks not counted).
+        self.dispatches = 0
+        #: Calls answered fused (pool of 1, tiny shapes, odd broadcasts).
+        self.fused_calls = 0
+        #: Sum of per-tile CPU seconds across all dispatches.
+        self.serial_s = 0.0
+        #: Sum over dispatches of the *slowest* tile's CPU seconds — the
+        #: critical path a fully-parallel host would pay.
+        self.effective_s = 0.0
+
+    def __reduce__(self):
+        return (GemmPool, (self.n_threads,))
+
+    # -- internals ---------------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._ex is None:
+            self._ex = ThreadPoolExecutor(
+                max_workers=self.n_threads, thread_name_prefix="gemm"
+            )
+        return self._ex
+
+    @staticmethod
+    def _tile(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> float:
+        t0 = time.thread_time()
+        np.matmul(a, b, out=out)
+        return time.thread_time() - t0
+
+    def _dispatch(self, tasks: list[tuple[np.ndarray, np.ndarray, np.ndarray]]) -> None:
+        ex = self._executor()
+        times = [f.result() for f in [ex.submit(self._tile, *t) for t in tasks]]
+        self.dispatches += 1
+        self.serial_s += sum(times)
+        self.effective_s += max(times)
+
+    def _blocks(self, n: int) -> list[slice]:
+        """Split ``range(n)`` into at most ``n_threads`` contiguous runs."""
+        n_blocks = min(self.n_threads, n)
+        per = -(-n // n_blocks)
+        return [slice(i, min(i + per, n)) for i in range(0, n, per)]
+
+    # -- public ------------------------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``np.matmul(a, b, out=out)``, tiled across the pool.
+
+        2-D products partition rows of ``a``/``out``; stacked products
+        (``ndim >= 3`` with matching leading axes) partition the leading
+        batch axis. Anything else — including shapes too small to
+        amortize a task hop — runs fused. Tile bounds depend only on
+        shapes and ``n_threads``, so a given pool size is deterministic
+        (see the module docstring for the exact contract).
+        """
+        if self.n_threads == 1:
+            self.fused_calls += 1
+            return np.matmul(a, b, out=out)
+        if a.ndim == 2 and b.ndim == 2:
+            m = a.shape[0]
+            if m >= 2 * MIN_ROWS_PER_THREAD and m >= 2:
+                self._dispatch([(a[s], b, out[s]) for s in self._blocks(m)])
+                return out
+        elif (
+            a.ndim >= 3
+            and b.ndim == a.ndim
+            and out.ndim == a.ndim
+            and a.shape[0] == b.shape[0] == out.shape[0] >= 2
+        ):
+            self._dispatch(
+                [(a[s], b[s], out[s]) for s in self._blocks(a.shape[0])]
+            )
+            return out
+        self.fused_calls += 1
+        return np.matmul(a, b, out=out)
+
+    def stats(self) -> dict:
+        """Counter snapshot (see attribute docs)."""
+        return {
+            "n_threads": self.n_threads,
+            "dispatches": self.dispatches,
+            "fused_calls": self.fused_calls,
+            "serial_s": self.serial_s,
+            "effective_s": self.effective_s,
+        }
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; a later ``matmul`` lazily
+        recreates it)."""
+        if self._ex is not None:
+            self._ex.shutdown(wait=True)
+            self._ex = None

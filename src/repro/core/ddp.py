@@ -24,6 +24,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.backend import GemmPool, make_backend
 from repro.comm.bucketing import bucket_gradients
 from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
@@ -105,6 +106,17 @@ class DDPEngine(MixedPrecisionMixin):
             cap_bytes=config.bucket_cap_bytes,
             first_bucket_cap_bytes=config.first_bucket_cap_bytes,
         )
+        self.gemm_pool = (
+            GemmPool(config.intra_op_threads)
+            if config.intra_op_threads > 1
+            else None
+        )
+        if self.gemm_pool is not None:
+            model.use_gemm_pool(self.gemm_pool)
+        # The backend is built before the optimizer: a process backend
+        # re-homes p.data into shared memory, and optimizer state (bf16
+        # masters included) must be laid down against that storage.
+        self._backend = make_backend(self)
         factory = (
             config.optimizer_factory
             if config.optimizer_factory is not None
@@ -112,7 +124,32 @@ class DDPEngine(MixedPrecisionMixin):
         )
         self.optimizer = factory(self.params)
         self._init_precision()
+        self._backend.start()
         self.step_count = 0
+
+    # -- execution backend hooks -------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the active execution backend (``inline``/``process``)."""
+        return self._backend.name
+
+    def _zero_local_grads(self) -> None:
+        """Zero one rank's local gradients before its microbatch."""
+        self.model.zero_grad()
+
+    def _collect_rank_grads(self) -> list[np.ndarray]:
+        """One rank's outbound (wire-ready) gradient contributions."""
+        return [self._outbound_grad(p.grad) for p in self.params]
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, shared memory,
+        GEMM threads). Idempotent. Parameter storage is re-homed to
+        private arrays, so checkpointing and evaluation keep working;
+        further ``train_step`` calls need a fresh engine."""
+        self._backend.shutdown()
+        if self.gemm_pool is not None:
+            self.gemm_pool.close()
 
     @property
     def lr(self) -> float:
@@ -199,14 +236,14 @@ class DDPEngine(MixedPrecisionMixin):
         try:
             for j in range(k):
                 with bus.span("compute.fwd_bwd"):
-                    per_rank = []
-                    for r in range(self.world.size):
-                        micro = self._cast_micro(micros[j * self.world.size + r])
-                        self.model.zero_grad()
-                        losses.append(float(step_fn(self.model, micro)))
-                        per_rank.append(
-                            [self._outbound_grad(p.grad) for p in self.params]
-                        )
+                    cast = [
+                        self._cast_micro(micros[j * self.world.size + r])
+                        for r in range(self.world.size)
+                    ]
+                    round_losses, per_rank = self._backend.run_round(
+                        j, cast, step_fn
+                    )
+                    losses.extend(round_losses)
                     round_grads.append(per_rank)
         except Exception:
             # A step_fn that raises mid-chain (e.g. backward on a bad

@@ -23,6 +23,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.backend import BACKEND_CHOICES
 from repro.comm.bucketing import DEFAULT_BUCKET_CAP_BYTES
 from repro.comm.collectives import SimComm
 from repro.comm.faults import RetryPolicy
@@ -101,6 +102,19 @@ class EngineConfig:
         and whether the AMP-style dynamic schedule (back off on
         non-finite gradients — skipping that step — grow after a clean
         streak) manages it. Ignored under fp32.
+    backend:
+        Where rank compute runs: ``"inline"`` (all ranks sequentially in
+        this process; the default) or ``"process"`` (one spawned OS
+        process per rank over shared-memory parameter/gradient blocks —
+        :mod:`repro.backend`). fp32 training is bit-identical across
+        backends; call ``engine.close()`` when done with a process
+        backend to join workers and unlink the segments.
+    intra_op_threads:
+        Threads in the shared :class:`~repro.backend.threads.GemmPool`
+        the fused Linear/attention matmuls tile over (``1`` disables the
+        pool). Blocked GEMMs are bit-identical to fused ones, so this is
+        purely a speed knob. Composes with ``backend="process"`` (each
+        worker gets its own pool).
     """
 
     optimizer_factory: OptimizerFactory | None = None
@@ -112,6 +126,9 @@ class EngineConfig:
     grad_accum_steps: int = 1
     loss_scale: float = 1.0
     dynamic_loss_scale: bool = False
+    # Execution (both engine kinds)
+    backend: str = "inline"
+    intra_op_threads: int = 1
     # DDP-only
     bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES
     first_bucket_cap_bytes: int | None = 1024 * 1024
@@ -131,6 +148,14 @@ class EngineConfig:
             )
         if self.loss_scale <= 0:
             raise ValueError(f"loss_scale must be positive, got {self.loss_scale}")
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_CHOICES}, got {self.backend!r}"
+            )
+        if self.intra_op_threads < 1:
+            raise ValueError(
+                f"intra_op_threads must be >= 1, got {self.intra_op_threads}"
+            )
         if self.bucket_cap_bytes <= 0:
             raise ValueError(
                 f"bucket_cap_bytes must be positive, got {self.bucket_cap_bytes}"

@@ -34,6 +34,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.backend import GemmPool, make_backend
 from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World, make_hybrid_mesh
@@ -171,6 +172,17 @@ class FSDPEngine(MixedPrecisionMixin):
 
         self.mesh = make_hybrid_mesh(world, self.shard_size)
         self.units: list[FlatUnit] = default_wrap_units(model, self.shard_size)
+        self.gemm_pool = (
+            GemmPool(config.intra_op_threads)
+            if config.intra_op_threads > 1
+            else None
+        )
+        if self.gemm_pool is not None:
+            model.use_gemm_pool(self.gemm_pool)
+        # Backend before shards/optimizer: a process backend re-homes each
+        # unit's flat buffer into shared memory, and the flat-shard views
+        # (and optimizer state against them) must alias that storage.
+        self._backend = make_backend(self)
         self._shards = [u.make_shards() for u in self.units]
         flat_shard_params = [s for shards in self._shards for s in shards]
         factory = (
@@ -180,7 +192,33 @@ class FSDPEngine(MixedPrecisionMixin):
         )
         self.optimizer = factory(flat_shard_params)
         self._init_precision()
+        self._backend.start()
         self.step_count = 0
+
+    # -- execution backend hooks -------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the active execution backend (``inline``/``process``)."""
+        return self._backend.name
+
+    def _zero_local_grads(self) -> None:
+        """Zero one rank's local gradients before its microbatch."""
+        for u in self.units:
+            u.zero_grad()
+
+    def _collect_rank_grads(self) -> list[np.ndarray]:
+        """One rank's outbound (wire-ready) flat gradient per unit."""
+        return [self._outbound_grad(u.read_grad(), owned=True) for u in self.units]
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, shared memory,
+        GEMM threads). Idempotent. Parameter storage is re-homed to
+        private arrays, so checkpointing and evaluation keep working;
+        further ``train_step`` calls need a fresh engine."""
+        self._backend.shutdown()
+        if self.gemm_pool is not None:
+            self.gemm_pool.close()
 
     # -- properties --------------------------------------------------------
 
@@ -426,18 +464,14 @@ class FSDPEngine(MixedPrecisionMixin):
                 # gradient sync is deferred).
                 self._issue_param_allgathers()
                 with bus.span("compute.fwd_bwd"):
-                    per_rank: list[list[np.ndarray]] = []
-                    for r in range(self.world.size):
-                        for u in self.units:
-                            u.zero_grad()
-                        micro = self._cast_micro(micros[j * self.world.size + r])
-                        losses.append(float(step_fn(self.model, micro)))
-                        per_rank.append(
-                            [
-                                self._outbound_grad(u.read_grad(), owned=True)
-                                for u in self.units
-                            ]
-                        )
+                    cast = [
+                        self._cast_micro(micros[j * self.world.size + r])
+                        for r in range(self.world.size)
+                    ]
+                    round_losses, per_rank = self._backend.run_round(
+                        j, cast, step_fn
+                    )
+                    losses.extend(round_losses)
                     micro_grads.append(per_rank)
                 # FULL_SHARD re-gathers parameters during backward.
                 if self.strategy is ShardingStrategy.FULL_SHARD:

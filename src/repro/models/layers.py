@@ -69,7 +69,7 @@ class Linear(Module):
         self._lead = x.shape[:-1]
         res_dtype = np.result_type(x.dtype, self.weight.data.dtype)
         y = self._buf("y", x.shape[:-1] + (self.out_features,), res_dtype)
-        np.matmul(x2, self.weight.data, out=y.reshape(-1, self.out_features))
+        self._matmul(x2, self.weight.data, y.reshape(-1, self.out_features))
         if self.has_bias:
             y += self.bias.data
         return y
@@ -81,7 +81,7 @@ class Linear(Module):
         x2 = self._x2
         d2 = dout.reshape(-1, self.out_features)
         gw = self._buf("gw", self.weight.shape, self.weight.dtype)
-        np.matmul(x2.T, d2, out=gw)
+        self._matmul(x2.T, d2, gw)
         self.weight.accumulate(gw)
         if self.has_bias:
             gb = self._buf("gb", self.bias.shape, self.bias.dtype)
@@ -90,7 +90,7 @@ class Linear(Module):
         dx = self._buf(
             "dx", self._lead + (self.in_features,), np.result_type(d2, x2)
         )
-        np.matmul(d2, self.weight.data.T, out=dx.reshape(-1, self.in_features))
+        self._matmul(d2, self.weight.data.T, dx.reshape(-1, self.in_features))
         self._x2 = None
         self._lead = None
         return dx

@@ -336,6 +336,35 @@ class TelemetryBus:
             )
         )
 
+    def merge(self, events, **attrs) -> None:
+        """Replay events recorded on another bus (e.g. a worker rank's).
+
+        The process execution backend fans in per-worker telemetry each
+        round: workers record on a local bus, serialize into a shared
+        event buffer, and the parent replays them here. Kind, name,
+        value (a span's *duration* survives intact), depth and original
+        attributes are preserved; ``attrs`` (typically ``rank=r``) are
+        merged on top. ``t_s`` is re-stamped on this bus's clock and
+        ``step`` on this bus's current step: worker clocks live in a
+        different time domain, so their raw offsets are not comparable
+        with the parent timeline.
+        """
+        if not self._enabled:
+            return
+        now = self._clock() - self._epoch
+        for ev in events:
+            self.sink.emit(
+                TelemetryEvent(
+                    kind=ev.kind,
+                    name=ev.name,
+                    value=ev.value,
+                    t_s=now,
+                    step=self.step,
+                    depth=ev.depth,
+                    attrs={**ev.attrs, **attrs},
+                )
+            )
+
     def close(self) -> None:
         """Close the attached sink."""
         self.sink.close()

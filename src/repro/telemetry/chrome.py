@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.perf.tracing import write_trace_json
 from repro.telemetry.bus import TelemetryEvent
 
 __all__ = ["to_trace_events", "write_span_trace"]
@@ -72,4 +71,9 @@ def write_span_trace(
     events: Iterable[TelemetryEvent], path: str, process_name: str = "measured"
 ) -> None:
     """Write a measured-run trace JSON to ``path`` (open with Perfetto)."""
+    # Imported here, not at module level: repro.perf pulls in repro.core,
+    # whose engines import repro.backend, which imports this package —
+    # a top-level import would close that cycle.
+    from repro.perf.tracing import write_trace_json
+
     write_trace_json(to_trace_events(events, process_name), path)

@@ -1,0 +1,107 @@
+"""ShmArena unit behavior: layout, views, ownership, sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.shm import (
+    ALIGN,
+    ShmArena,
+    _LIVE_SEGMENTS,
+    plan_blocks,
+    sweep_segments,
+)
+
+
+class TestPlanBlocks:
+    def test_blocks_are_aligned_and_ordered(self):
+        offsets, total = plan_blocks({"a": 1, "b": ALIGN, "c": ALIGN + 1})
+        assert offsets == {"a": 0, "b": ALIGN, "c": 2 * ALIGN}
+        assert total == 4 * ALIGN
+        assert all(off % ALIGN == 0 for off in offsets.values())
+
+    def test_empty_plan_still_allocatable(self):
+        offsets, total = plan_blocks({})
+        assert offsets == {}
+        assert total >= 1  # SharedMemory rejects size 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            plan_blocks({"bad": -1})
+
+
+class TestArena:
+    def test_create_view_roundtrip_and_destroy(self):
+        arena = ShmArena.create(1024)
+        try:
+            v = arena.view(64, (8, 8), np.float64)
+            v[:] = np.arange(64).reshape(8, 8)
+            again = arena.view(64, (64,), np.float64)
+            np.testing.assert_array_equal(again, np.arange(64.0))
+        finally:
+            del v, again
+            arena.destroy()
+
+    def test_attach_sees_owner_writes(self):
+        arena = ShmArena.create(256)
+        try:
+            arena.view(0, (4,), np.float64)[:] = [1.0, 2.0, 3.0, 4.0]
+            other = ShmArena.attach(arena.name)
+            np.testing.assert_array_equal(
+                other.view(0, (4,), np.float64), [1.0, 2.0, 3.0, 4.0]
+            )
+            assert not other.owner
+            other.close()
+        finally:
+            arena.destroy()
+
+    def test_view_bounds_checked(self):
+        arena = ShmArena.create(64)
+        try:
+            with pytest.raises(ValueError, match="outside segment"):
+                arena.view(32, (64,), np.float64)
+            with pytest.raises(ValueError, match="outside segment"):
+                arena.view(-8, (1,), np.float64)
+        finally:
+            arena.destroy()
+
+    def test_destroy_is_idempotent_and_deregisters(self):
+        arena = ShmArena.create(64)
+        name = arena.name
+        assert name in _LIVE_SEGMENTS
+        arena.destroy()
+        assert name not in _LIVE_SEGMENTS
+        arena.destroy()  # second call is a no-op
+        with pytest.raises(FileNotFoundError):
+            ShmArena.attach(name)
+
+    def test_non_owner_cannot_destroy(self):
+        arena = ShmArena.create(64)
+        try:
+            other = ShmArena.attach(arena.name)
+            with pytest.raises(RuntimeError, match="not owned"):
+                other.destroy()
+            other.close()
+        finally:
+            arena.destroy()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError, match="nbytes"):
+            ShmArena.create(0)
+
+
+class TestSweep:
+    def test_sweep_reclaims_unclosed_segments(self):
+        arena = ShmArena.create(128)
+        name = arena.name
+        swept = sweep_segments()
+        assert name in swept
+        assert name not in _LIVE_SEGMENTS
+        with pytest.raises(FileNotFoundError):
+            ShmArena.attach(name)
+
+    def test_sweep_after_clean_shutdown_is_empty(self):
+        arena = ShmArena.create(128)
+        arena.destroy()
+        assert sweep_segments() == []

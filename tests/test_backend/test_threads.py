@@ -1,0 +1,129 @@
+"""GemmPool: blocked matmul correctness, determinism, and accounting."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.backend import GemmPool
+from repro.backend.threads import MIN_ROWS_PER_THREAD
+
+
+def _pair(shape_a, shape_b, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape_a), rng.standard_normal(shape_b)
+
+
+class TestBlockedMatmul:
+    @pytest.mark.parametrize(
+        "shape_a,shape_b",
+        [
+            ((128, 64), (64, 96)),          # 2-D row split
+            ((33, 17), (17, 5)),            # odd sizes
+            ((4, 9, 16), (4, 16, 9)),       # stacked batch split
+            ((2, 6, 17, 17), (2, 6, 17, 64)),  # ViT attention shape
+        ],
+    )
+    def test_matches_fused_numerically(self, shape_a, shape_b):
+        a, b = _pair(shape_a, shape_b)
+        ref = np.matmul(a, b)
+        pool = GemmPool(4)
+        out = np.empty_like(ref)
+        pool.matmul(a, b, out)
+        np.testing.assert_allclose(out, ref, rtol=1e-13, atol=1e-13)
+        pool.close()
+
+    def test_fixed_thread_count_is_deterministic(self):
+        # The contract the cross-backend differential suite relies on:
+        # same pool size -> bit-identical results, call after call.
+        a, b = _pair((128, 48), (48, 64))
+        pool = GemmPool(3)
+        out1, out2 = np.empty((128, 64)), np.empty((128, 64))
+        pool.matmul(a, b, out1)
+        pool.matmul(a, b, out2)
+        np.testing.assert_array_equal(out1, out2)
+        pool.close()
+
+    def test_contiguous_row_split_is_bit_identical_to_fused(self):
+        # With C-contiguous operands the row decomposition reproduces
+        # the fused product exactly (no K-split, no re-association).
+        a, b = _pair((256, 64), (64, 96))
+        ref = np.empty((256, 96))
+        np.matmul(a, b, out=ref)
+        pool = GemmPool(4)
+        out = np.empty_like(ref)
+        pool.matmul(a, b, out)
+        np.testing.assert_array_equal(out, ref)
+        pool.close()
+
+    def test_writes_through_transposed_out_view(self):
+        # The attention layers hand the pool transposed output views so
+        # results land pre-merged; the tiles must write through them.
+        a, b = _pair((2, 6, 17, 17), (2, 6, 17, 64))
+        backing = np.empty((2, 17, 6, 64))
+        pool = GemmPool(2)
+        pool.matmul(a, b, backing.transpose(0, 2, 1, 3))
+        np.testing.assert_allclose(
+            backing.transpose(0, 2, 1, 3), np.matmul(a, b), rtol=1e-13
+        )
+        pool.close()
+
+
+class TestDispatchPolicy:
+    def test_single_thread_pool_never_builds_an_executor(self):
+        pool = GemmPool(1)
+        a, b = _pair((128, 64), (64, 96))
+        pool.matmul(a, b, np.empty((128, 96)))
+        assert pool._ex is None
+        assert pool.fused_calls == 1
+        assert pool.dispatches == 0
+
+    def test_small_shapes_fall_back_to_fused(self):
+        pool = GemmPool(4)
+        m = 2 * MIN_ROWS_PER_THREAD - 1
+        a, b = _pair((m, 8), (8, 8))
+        pool.matmul(a, b, np.empty((m, 8)))
+        assert pool.fused_calls == 1
+        assert pool.dispatches == 0
+        pool.close()
+
+    def test_blocked_dispatch_updates_critical_path_counters(self):
+        pool = GemmPool(4)
+        a, b = _pair((256, 64), (64, 64))
+        pool.matmul(a, b, np.empty((256, 64)))
+        assert pool.dispatches == 1
+        assert pool.serial_s >= pool.effective_s >= 0.0
+        stats = pool.stats()
+        assert stats["n_threads"] == 4
+        assert stats["dispatches"] == 1
+        pool.close()
+
+    def test_invalid_thread_count_rejected(self):
+        with pytest.raises(ValueError, match="n_threads"):
+            GemmPool(0)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_pool_recovers(self):
+        pool = GemmPool(2)
+        a, b = _pair((128, 16), (16, 16))
+        pool.matmul(a, b, np.empty((128, 16)))
+        pool.close()
+        pool.close()
+        # A pool is lazily rebuilt after close (shutdown re-entry path).
+        out = np.empty((128, 16))
+        pool.matmul(a, b, out)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-13)
+        pool.close()
+
+    def test_pickles_by_configuration_only(self):
+        pool = GemmPool(3)
+        a, b = _pair((128, 16), (16, 16))
+        pool.matmul(a, b, np.empty((128, 16)))
+        clone = pickle.loads(pickle.dumps(pool))
+        assert clone.n_threads == 3
+        assert clone.dispatches == 0  # counters do not travel
+        assert clone._ex is None  # executor rebuilt lazily in the new process
+        pool.close()

@@ -1,0 +1,77 @@
+"""Threaded replica inference: one GemmPool shared across the pool.
+
+Thread count is part of the numerical configuration (see
+``repro.backend.threads``), so the differential oracle here is direct
+``extract_features`` on a model threaded with the *same* pool size —
+delivered features must match it bit-for-bit under any batching
+schedule, exactly as the unthreaded differential suite demands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import get_mae_config
+from repro.eval.features import extract_features
+from repro.models import MaskedAutoencoder
+from repro.serve import FixedServiceModel, InferenceServer
+
+from tests.test_serve.conftest import StubEncoder
+
+
+def _model_and_images(n=8):
+    cfg = get_mae_config("proxy-base")
+    model = MaskedAutoencoder(cfg, rng=np.random.default_rng(0))
+    enc = cfg.encoder
+    images = np.random.default_rng(1).standard_normal(
+        (n, enc.in_chans, enc.img_size, enc.img_size)
+    )
+    return model, images
+
+
+def test_threaded_serving_matches_threaded_direct():
+    model, images = _model_and_images()
+    server = InferenceServer(
+        model,
+        services=[FixedServiceModel(1e6)],
+        max_batch_size=4,
+        queue_capacity=len(images),
+        intra_op_threads=4,
+    )
+    assert server.gemm_pool is not None
+    assert model.gemm_pool is server.gemm_pool
+    responses = server.run([(0.0, img) for img in images])
+    assert all(r.status == "ok" for r in responses)
+    # The pool is still attached, so this direct pass uses the same
+    # thread count — the comparison the numerics contract guarantees.
+    direct = extract_features(model, images, batch_size=4)
+    by_id = {r.req_id: r.features for r in responses}
+    for i, req_id in enumerate(sorted(by_id)):
+        np.testing.assert_array_equal(by_id[req_id], direct[i])
+    server.close()
+    server.close()  # idempotent
+
+
+def test_default_is_unthreaded():
+    model, _ = _model_and_images(1)
+    server = InferenceServer(model, services=[FixedServiceModel(1e6)])
+    assert server.gemm_pool is None
+    assert model.gemm_pool is None
+
+
+def test_bad_thread_count_rejected():
+    model, _ = _model_and_images(1)
+    with pytest.raises(ValueError, match="intra_op_threads"):
+        InferenceServer(
+            model, services=[FixedServiceModel(1e6)], intra_op_threads=0
+        )
+
+
+def test_model_without_gemm_pool_hook_rejected():
+    with pytest.raises(ValueError, match="use_gemm_pool"):
+        InferenceServer(
+            StubEncoder(),
+            services=[FixedServiceModel(1e6)],
+            intra_op_threads=2,
+        )
