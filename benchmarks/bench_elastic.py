@@ -1,0 +1,32 @@
+"""Benchmark driver: the elastic resize chaos campaign.
+
+Thin wrapper over :func:`repro.elastic.campaign.run_resize_campaign`:
+runs the full preempt/resize/requeue lifecycle (FULL_SHARD 16 oracle,
+forced FULL_SHARD 16 → HYBRID 8 fold, random compatible transitions on
+inline *and* process backends) and writes ``ELASTIC_campaign.json`` next
+to this file for ``benchmarks/check_regression.py`` — whose gate is
+correctness, not throughput: ``bit_identical`` must hold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_elastic.py
+    python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def main() -> dict:
+    """Run the campaign and write the artifact; returns the summary."""
+    from repro.elastic.campaign import main as campaign_main
+
+    return campaign_main(out_path=str(HERE / "ELASTIC_campaign.json"))
+
+
+if __name__ == "__main__":
+    summary = main()
+    raise SystemExit(0 if summary["bit_identical"] else 1)

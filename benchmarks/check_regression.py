@@ -1,14 +1,16 @@
 """Compare fresh bench artifacts against the committed baselines.
 
 Covers ``BENCH_hotpath.json`` (substrate training throughput),
-``BENCH_serving.json`` (online serving throughput/saturation), and
-``BENCH_multicore.json`` (process-backend speedup and bit-identity).
+``BENCH_serving.json`` (online serving throughput/saturation),
+``BENCH_multicore.json`` (process-backend speedup and bit-identity), and
+``ELASTIC_campaign.json`` (resize chaos campaign bit-identity).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py      # fresh run
     PYTHONPATH=src python benchmarks/bench_serving.py      # fresh run
     PYTHONPATH=src python benchmarks/bench_multicore.py    # fresh run
+    PYTHONPATH=src python benchmarks/bench_elastic.py      # fresh run
     python benchmarks/check_regression.py                  # diff vs baselines
     python benchmarks/check_regression.py --update         # bless current runs
 
@@ -47,6 +49,8 @@ SERVING_FRESH = HERE / "BENCH_serving.json"
 SERVING_BASELINE = HERE / "BENCH_serving.baseline.json"
 MULTICORE_FRESH = HERE / "BENCH_multicore.json"
 MULTICORE_BASELINE = HERE / "BENCH_multicore.baseline.json"
+ELASTIC_FRESH = HERE / "ELASTIC_campaign.json"
+ELASTIC_BASELINE = HERE / "ELASTIC_campaign.baseline.json"
 DEFAULT_THRESHOLD = 0.15
 
 #: Optional artifact -> (baseline path, producing command). The hotpath
@@ -54,6 +58,7 @@ DEFAULT_THRESHOLD = 0.15
 OPTIONAL_ARTIFACTS = {
     "serving": (SERVING_FRESH, SERVING_BASELINE, "bench_serving.py"),
     "multicore": (MULTICORE_FRESH, MULTICORE_BASELINE, "bench_multicore.py"),
+    "elastic": (ELASTIC_FRESH, ELASTIC_BASELINE, "bench_elastic.py"),
 }
 
 
@@ -137,6 +142,43 @@ def compare_multicore(
                 f"({change:+.1%}, allowed -{threshold:.0%})"
             )
     return problems
+
+
+def compare_elastic(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regressions in the resize-campaign artifact (empty = pass).
+
+    Correctness gates, not throughput: the campaign must stay bit-exact
+    with the uninterrupted oracle, and must not have quietly shrunk
+    below the baseline's transition coverage.
+    """
+    problems: list[str] = []
+    if not fresh.get("bit_identical", False):
+        problems.append(
+            "elastic: resize campaign no longer bit-identical to the "
+            f"uninterrupted run (max |dp| = {fresh.get('max_abs_param_diff')})"
+        )
+    want = baseline.get("requeues", 0)
+    if fresh.get("requeues", 0) < want:
+        problems.append(
+            f"elastic: campaign covers {fresh.get('requeues', 0)} requeues, "
+            f"baseline covered {want}"
+        )
+    return problems
+
+
+def render_elastic(fresh: dict, baseline: dict) -> str:
+    """Resize campaign summary: verdict plus the transition chain."""
+    verdict = "bit-identical" if fresh.get("bit_identical") else "DIVERGED"
+    lines = [
+        f"{'elastic':<12} {fresh.get('requeues', 0):>9} requeues over "
+        f"{fresh.get('total_steps', 0)} steps   ({verdict}, backends "
+        f"{'/'.join(fresh.get('backends_exercised', []))})"
+    ]
+    for t in fresh.get("transitions", []):
+        lines.append(f"{'':<12}   step {t['step']:>3}: {t['from']} -> {t['to']}")
+    return "\n".join(lines)
 
 
 def render_serving(fresh: dict, baseline: dict) -> str:
@@ -245,8 +287,16 @@ def main(argv: list[str] | None = None) -> int:
     print(render(fresh, baseline))
     problems = compare(fresh, baseline, threshold=args.threshold)
 
-    renderers = {"serving": render_serving, "multicore": render_multicore}
-    comparers = {"serving": compare_serving, "multicore": compare_multicore}
+    renderers = {
+        "serving": render_serving,
+        "multicore": render_multicore,
+        "elastic": render_elastic,
+    }
+    comparers = {
+        "serving": compare_serving,
+        "multicore": compare_multicore,
+        "elastic": compare_elastic,
+    }
     for name, (fresh_path, baseline_path, cmd) in OPTIONAL_ARTIFACTS.items():
         if fresh_path.exists() and baseline_path.exists():
             opt_fresh = json.loads(fresh_path.read_text())

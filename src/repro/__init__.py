@@ -62,6 +62,22 @@ from repro.core.sharding import BackwardPrefetch, ShardingStrategy, parse_strate
 from repro.core.simclr_trainer import SimCLRPretrainer
 from repro.core.trainer import MAEPretrainer, TrainResult
 from repro.data.dataloader import DataLoader
+from repro.elastic import (
+    Allocation,
+    ElasticCompatibilityError,
+    PreemptedError,
+    PreemptionHandler,
+    PreemptionToken,
+    ReductionLayout,
+    RequeueDriver,
+    ResizeScheduler,
+    TopologySpec,
+    compatible_allocations,
+    elastic_resume,
+    reshard_engine_state,
+    reshard_trainer_state,
+    run_resize_campaign,
+)
 from repro.eval.linear_probe import linear_probe
 from repro.hardware.frontier import FRONTIER, frontier_machine
 from repro.models.mae import MaskedAutoencoder
@@ -121,6 +137,20 @@ __all__ = [
     "SimCLRPretrainer",
     "TrainResult",
     "DataLoader",
+    "ElasticCompatibilityError",
+    "PreemptedError",
+    "PreemptionHandler",
+    "PreemptionToken",
+    "ReductionLayout",
+    "TopologySpec",
+    "reshard_engine_state",
+    "reshard_trainer_state",
+    "Allocation",
+    "compatible_allocations",
+    "ResizeScheduler",
+    "RequeueDriver",
+    "elastic_resume",
+    "run_resize_campaign",
     "AdamW",
     "VisionTransformer",
     "MaskedAutoencoder",

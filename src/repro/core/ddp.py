@@ -31,6 +31,7 @@ from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World
 from repro.core.engine import EngineConfig, warn_deprecated_kwarg
 from repro.core.mixed_precision import MixedPrecisionMixin
+from repro.elastic.layout import validate_layout
 from repro.models.module import Module
 from repro.optim.adamw import AdamW
 from repro.optim.base import Optimizer
@@ -97,6 +98,12 @@ class DDPEngine(MixedPrecisionMixin):
         self.config = config
         self.model = model
         self.world = world
+        # DDP's bucketed all-reduce is always single-stage; an explicit
+        # chunked layout (only HYBRID_SHARD can realize one) is rejected
+        # here rather than silently changing the trajectory.
+        self.layout = validate_layout(
+            "DDP", world.size, None, config.grad_accum_steps, config.reduction_layout
+        )
         self.comm = config.comm if config.comm is not None else SimComm()
         self.retry_policy = config.retry_policy
         self.telemetry = config.telemetry if config.telemetry is not None else NULL_BUS
@@ -185,6 +192,21 @@ class DDPEngine(MixedPrecisionMixin):
         if "scaler" in sd:
             self.scaler.load_state_dict(sd["scaler"])
         self.step_count = int(sd["step_count"])
+
+    def topology(self) -> dict:
+        """The world shape a snapshot of this engine assumes (see
+        :meth:`repro.core.fsdp.FSDPEngine.topology`)."""
+        return {
+            "kind": "ddp",
+            "strategy": "DDP",
+            "world_size": self.world.size,
+            "ranks_per_node": self.world.ranks_per_node,
+            "shard_size": None,
+            "grad_accum_steps": self.grad_accum_steps,
+            "layout": {"total": self.layout.total, "chunk": self.layout.chunk},
+            "precision": self.precision,
+            "backend": self.backend,
+        }
 
     # -- the step ----------------------------------------------------------
 

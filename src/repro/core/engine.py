@@ -28,6 +28,7 @@ from repro.comm.bucketing import DEFAULT_BUCKET_CAP_BYTES
 from repro.comm.collectives import SimComm
 from repro.comm.faults import RetryPolicy
 from repro.core.sharding import BackwardPrefetch, ShardingStrategy, parse_strategy
+from repro.elastic.layout import ReductionLayout
 from repro.optim.base import Optimizer
 from repro.precision.bf16 import PRECISIONS
 from repro.telemetry import TelemetryBus
@@ -115,6 +116,16 @@ class EngineConfig:
         pool). Blocked GEMMs are bit-identical to fused ones, so this is
         purely a speed knob. Composes with ``backend="process"`` (each
         worker gets its own pool).
+    reduction_layout:
+        The logical :class:`~repro.elastic.layout.ReductionLayout` the
+        gradient reduction must realize (``None`` — the default — keeps
+        each strategy's natural layout and changes nothing). Set by the
+        elastic requeue machinery when resuming a checkpoint into a
+        resized world: configurations sharing a layout train fp32
+        bit-identically, and HYBRID_SHARD with a single replica group
+        can *fold* its two reduction stages to realize a single-stage
+        layout from a larger world (e.g. FULL_SHARD 16 → HYBRID 8 with
+        ``grad_accum_steps=2``).
     """
 
     optimizer_factory: OptimizerFactory | None = None
@@ -129,6 +140,8 @@ class EngineConfig:
     # Execution (both engine kinds)
     backend: str = "inline"
     intra_op_threads: int = 1
+    # Elastic resharding (both engine kinds)
+    reduction_layout: ReductionLayout | None = None
     # DDP-only
     bucket_cap_bytes: int = DEFAULT_BUCKET_CAP_BYTES
     first_bucket_cap_bytes: int | None = 1024 * 1024

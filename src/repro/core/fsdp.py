@@ -46,6 +46,7 @@ from repro.core.sharding import (
     ShardingStrategy,
     default_wrap_units,
 )
+from repro.elastic.layout import validate_layout
 from repro.models.module import Module
 from repro.optim.adamw import AdamW
 from repro.optim.base import Optimizer
@@ -171,6 +172,24 @@ class FSDPEngine(MixedPrecisionMixin):
         self.telemetry = config.telemetry if config.telemetry is not None else NULL_BUS
 
         self.mesh = make_hybrid_mesh(world, self.shard_size)
+        # The logical reduction layout this engine realizes. With the
+        # default (None) this is the strategy's natural layout and the
+        # reduction code below behaves exactly as before; an explicit
+        # layout from the elastic machinery can additionally *fold*
+        # HYBRID's two stages into one when there is a single replica
+        # group, preserving a larger world's single-stage grouping.
+        self.layout = validate_layout(
+            strategy.value,
+            world.size,
+            self.shard_size,
+            config.grad_accum_steps,
+            config.reduction_layout,
+        )
+        self._fold_hybrid = (
+            strategy is ShardingStrategy.HYBRID_SHARD
+            and self.layout.single_stage
+            and self.mesh.n_replicas == 1
+        )
         self.units: list[FlatUnit] = default_wrap_units(model, self.shard_size)
         self.gemm_pool = (
             GemmPool(config.intra_op_threads)
@@ -262,6 +281,25 @@ class FSDPEngine(MixedPrecisionMixin):
             self.scaler.load_state_dict(sd["scaler"])
         self.step_count = int(sd["step_count"])
 
+    def topology(self) -> dict:
+        """The world/sharding shape a snapshot of this engine assumes.
+
+        Recorded in checkpoint metadata so a resume into a *different*
+        shape fails with a typed error (or reshards through
+        :mod:`repro.elastic`) instead of silently diverging.
+        """
+        return {
+            "kind": "fsdp",
+            "strategy": self.strategy.value,
+            "world_size": self.world.size,
+            "ranks_per_node": self.world.ranks_per_node,
+            "shard_size": self.shard_size,
+            "grad_accum_steps": self.grad_accum_steps,
+            "layout": {"total": self.layout.total, "chunk": self.layout.chunk},
+            "precision": self.precision,
+            "backend": self.backend,
+        }
+
     # -- collective phases ---------------------------------------------------
 
     def _collective(self, fn, op: str = "collective", nbytes: float = 0.0):
@@ -338,6 +376,12 @@ class FSDPEngine(MixedPrecisionMixin):
           single-stage reduction would *not* match. ``k == 1`` keeps the
           pre-accumulation call pattern exactly (including skipping stage
           2 when there is a single replica group).
+        - ``HYBRID_SHARD`` *folded* (``self._fold_hybrid``: an explicit
+          single-stage :class:`~repro.elastic.layout.ReductionLayout`
+          with one replica group): the shard group spans the world, so
+          the strategy takes the FULL_SHARD branch — one deferred
+          reduce-scatter over all ``k * W`` contributions — reproducing
+          a larger single-stage world's grouping bit-exactly.
         """
         k = len(micro_grads)
         world_group = self.world.world_group()
@@ -363,7 +407,7 @@ class FSDPEngine(MixedPrecisionMixin):
                 )
                 out.append([reduced[0]])
                 continue
-            if self.strategy is not ShardingStrategy.HYBRID_SHARD:
+            if self.strategy is not ShardingStrategy.HYBRID_SHARD or self._fold_hybrid:
                 # One shard group spans the world: a single deferred
                 # reduce-scatter over every (round, rank) contribution.
                 group = self.mesh.shard_groups[0]

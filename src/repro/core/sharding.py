@@ -31,9 +31,11 @@ __all__ = [
     "ShardPlan",
     "FlatUnit",
     "FlatShard",
+    "UnitSpec",
     "flatten_params",
     "unflatten_params",
     "default_wrap_units",
+    "unit_param_specs",
 ]
 
 
@@ -198,28 +200,78 @@ class FlatUnit:
         ]
 
 
-def default_wrap_units(model: Module, shard_size: int) -> list[FlatUnit]:
-    """The paper's wrapping policy: one unit per transformer block.
+def _wrap_groups(model: Module) -> list[tuple[str, list[Parameter]]]:
+    """The paper's wrapping policy as (unit name, parameters) groups.
 
-    Every :class:`TransformerBlock` becomes its own flat parameter; all
-    remaining parameters (embeddings, norms, heads, tokens) form the root
-    unit — exactly what ``transformer_auto_wrap_policy(TransformerBlock)``
-    produces in PyTorch FSDP.
+    Every :class:`TransformerBlock` becomes its own group; all remaining
+    parameters (embeddings, norms, heads, tokens) form the root group,
+    which goes first — exactly what
+    ``transformer_auto_wrap_policy(TransformerBlock)`` produces in
+    PyTorch FSDP. This grouping depends only on the model architecture
+    (not on the shard size), which is what lets checkpoint resharding
+    recompute any world's flat layout from a model instance alone.
     """
     block_params: set[int] = set()
-    units: list[FlatUnit] = []
+    groups: list[tuple[str, list[Parameter]]] = []
     idx = 0
     for mod in model.modules():
         if isinstance(mod, TransformerBlock):
             params = mod.parameters()
             block_params.update(id(p) for p in params)
-            units.append(FlatUnit(f"block{idx}", params, shard_size))
+            groups.append((f"block{idx}", params))
             idx += 1
     root = [p for p in model.parameters() if id(p) not in block_params]
     if root:
         # Root unit goes first: FSDP gathers it for the embedding layers
         # before any block runs.
-        units.insert(0, FlatUnit("root", root, shard_size))
-    if not units:
+        groups.insert(0, ("root", root))
+    if not groups:
         raise ValueError("model has no parameters to wrap")
-    return units
+    return groups
+
+
+def default_wrap_units(model: Module, shard_size: int) -> list[FlatUnit]:
+    """Build the flat-parameter units for :func:`_wrap_groups`."""
+    return [
+        FlatUnit(name, params, shard_size) for name, params in _wrap_groups(model)
+    ]
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """Shard-size-independent description of one wrapping unit.
+
+    ``layout`` entries are ``(param_name, shape, offset)`` into the
+    unit's unpadded flat vector, in flattening order — the same layout
+    :class:`FlatUnit` materializes. Combined with a
+    :class:`ShardPlan` for any shard size, this is enough to map
+    per-flat-shard optimizer state (moments, masters) to and from
+    per-parameter canonical form without constructing an engine.
+    """
+
+    name: str
+    layout: tuple[tuple[str, tuple[int, ...], int], ...]
+    numel: int
+
+    def plan(self, shard_size: int) -> ShardPlan:
+        """The unit's shard plan at ``shard_size``."""
+        return ShardPlan(numel=self.numel, shard_size=shard_size)
+
+
+def unit_param_specs(model: Module) -> list[UnitSpec]:
+    """The model's wrapping units as pure metadata (no flat buffers).
+
+    Layout entries use the model's *dotted* parameter names (the
+    ``state_dict`` keys), which are unique across the module tree —
+    ``Parameter.name`` alone is only the local attribute name.
+    """
+    dotted = {id(p): name for name, p in model.named_parameters()}
+    specs: list[UnitSpec] = []
+    for name, params in _wrap_groups(model):
+        layout: list[tuple[str, tuple[int, ...], int]] = []
+        offset = 0
+        for p in params:
+            layout.append((dotted[id(p)], tuple(p.data.shape), offset))
+            offset += p.data.size
+        specs.append(UnitSpec(name=name, layout=tuple(layout), numel=offset))
+    return specs

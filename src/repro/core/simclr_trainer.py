@@ -53,6 +53,7 @@ class SimCLRPretrainer(CheckpointingTrainer):
         checkpoint_dir: str | None = None,
         save_every: int = 0,
         keep: int = 3,
+        preemption=None,
         telemetry: TelemetryBus | None = None,
     ):
         if images.ndim != 4:
@@ -80,7 +81,7 @@ class SimCLRPretrainer(CheckpointingTrainer):
         self.schedule = schedule
         self.seed = seed
         self.steps_per_epoch = len(images) // global_batch
-        self._init_checkpointing(checkpoint_dir, save_every, keep)
+        self._init_checkpointing(checkpoint_dir, save_every, keep, preemption)
         self._init_telemetry(telemetry)
 
     def _epoch_order(self, epoch: int) -> np.ndarray:

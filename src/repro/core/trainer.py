@@ -18,6 +18,8 @@ import numpy as np
 from repro.core.checkpoints import CheckpointManager
 from repro.core.ddp import DDPEngine
 from repro.core.fsdp import FSDPEngine
+from repro.elastic.errors import ElasticCompatibilityError, PreemptedError
+from repro.elastic.preemption import PreemptionToken
 from repro.models.mae import MaskedAutoencoder
 from repro.models.workspace import Workspace
 from repro.optim.schedules import CosineWithWarmup
@@ -74,9 +76,14 @@ class CheckpointingTrainer:
 
     checkpoints: CheckpointManager | None
     save_every: int
+    preemption: PreemptionToken | None
 
     def _init_checkpointing(
-        self, checkpoint_dir: str | None, save_every: int, keep: int
+        self,
+        checkpoint_dir: str | None,
+        save_every: int,
+        keep: int,
+        preemption: PreemptionToken | None = None,
     ) -> None:
         if save_every < 0:
             raise ValueError(f"save_every must be non-negative, got {save_every}")
@@ -86,6 +93,7 @@ class CheckpointingTrainer:
             CheckpointManager(checkpoint_dir, keep=keep) if checkpoint_dir else None
         )
         self.save_every = save_every
+        self.preemption = preemption
         self._hist_losses: list[float] = []
         self._hist_lrs: list[float] = []
 
@@ -118,19 +126,47 @@ class CheckpointingTrainer:
         self._hist_lrs = [float(x) for x in sd["history"]["lrs"]]
 
     def _record_step(self, step: int, loss: float, lr: float) -> None:
-        """Append one step to the history; snapshot on the save cadence."""
+        """Append one step to the history; snapshot on the save cadence.
+
+        This is also the preemption drain point: when the trainer's
+        :class:`~repro.elastic.preemption.PreemptionToken` has tripped
+        (signal) or armed (scheduler), the step that just completed is
+        snapshotted — exactly once — and
+        :class:`~repro.elastic.errors.PreemptedError` unwinds the run so
+        a requeue driver can rebuild the next allocation.
+        """
         self._hist_losses.append(loss)
         self._hist_lrs.append(lr)
+        saved: str | None = None
         if self.checkpoints is not None and self.save_every:
             if (step + 1) % self.save_every == 0:
-                self.save_snapshot()
+                saved = self.save_snapshot()
+        tok = self.preemption
+        if tok is not None and tok.should_preempt(step):
+            if saved is None and self.checkpoints is not None:
+                saved = self.save_snapshot()
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "elastic.preemptions", 1, reason=tok.reason or "unknown"
+                )
+            raise PreemptedError(step=step, checkpoint=saved)
 
     def save_snapshot(self) -> str:
-        """Atomically snapshot the engine + history at the current step."""
+        """Atomically snapshot the engine + history at the current step.
+
+        The metadata records the engine topology (world size, strategy,
+        shard size, reduction layout) so :meth:`resume` can refuse — and
+        :func:`repro.elastic.elastic_resume` can reshard — a restore
+        into a differently-shaped world.
+        """
         if self.checkpoints is None:
             raise ValueError("trainer was constructed without a checkpoint_dir")
         state = self.state_dict()
-        meta = {"seed": self.seed, "global_batch": self.global_batch}
+        meta = {
+            "seed": self.seed,
+            "global_batch": self.global_batch,
+            "elastic": self.engine.topology(),
+        }
         return self.checkpoints.save(state, step=self.engine.step_count, meta=meta)
 
     def resume(self, total_steps: int) -> TrainResult:
@@ -156,7 +192,20 @@ class CheckpointingTrainer:
                     f"global_batch={meta.get('global_batch')}; trainer has "
                     f"seed={self.seed}, global_batch={self.global_batch}"
                 )
-            self.load_state_dict(state)
+            self._check_snapshot_topology(meta)
+            try:
+                self.load_state_dict(state)
+            except (ValueError, KeyError) as e:
+                # A legacy (pre-topology) snapshot from a different world
+                # can fail structurally deep in the optimizer; surface it
+                # as the typed elastic error with the way out.
+                raise ElasticCompatibilityError(
+                    f"snapshot does not fit this engine ({e}); it was "
+                    "likely saved under a different world size or sharding "
+                    "strategy. Resume it through "
+                    "repro.elastic.elastic_resume(trainer, total_steps), "
+                    "which reshards the state."
+                ) from e
             start = self.engine.step_count
         if total_steps < start:
             raise ValueError(
@@ -169,6 +218,44 @@ class CheckpointingTrainer:
             lrs=list(self._hist_lrs),
             steps_per_epoch=self.steps_per_epoch,
         )
+
+    def _check_snapshot_topology(self, meta: dict) -> None:
+        """Refuse a plain resume across a world/sharding change.
+
+        Snapshots record the engine topology under ``meta["elastic"]``;
+        restoring one into a differently-shaped engine would either fail
+        structurally (FSDP shard counts) or — worse — load cleanly and
+        silently follow a different trajectory (a DDP world change
+        re-slices every global batch). Both cases get the typed error;
+        legacy snapshots without the record are loaded as before (the
+        structural failure path still catches cross-shard loads).
+        """
+        recorded = meta.get("elastic")
+        if recorded is None:
+            return
+        current = self.engine.topology()
+        compare = (
+            "strategy",
+            "world_size",
+            "shard_size",
+            "grad_accum_steps",
+            "layout",
+            "precision",
+        )
+        diffs = [
+            f"{k}: snapshot {recorded.get(k)!r} != engine {current.get(k)!r}"
+            for k in compare
+            if recorded.get(k) != current.get(k)
+        ]
+        if diffs:
+            raise ElasticCompatibilityError(
+                "snapshot topology does not match this engine ("
+                + "; ".join(diffs)
+                + "). A direct resume would not continue the same "
+                "trajectory; use repro.elastic.elastic_resume(trainer, "
+                "total_steps) to reshard into this world, or rebuild the "
+                "engine with the snapshot's topology."
+            )
 
 
 def _mae_step_fn(model: MaskedAutoencoder, micro) -> float:
@@ -210,6 +297,12 @@ class MAEPretrainer(CheckpointingTrainer):
         still works when a directory is set).
     keep:
         How many snapshots to retain (older ones are pruned).
+    preemption:
+        A :class:`~repro.elastic.preemption.PreemptionToken`; when it
+        trips (signal) or arms (scheduler), the in-flight step drains, a
+        final snapshot is written, and
+        :class:`~repro.elastic.errors.PreemptedError` unwinds the run
+        for the requeue driver.
     telemetry:
         Instrumentation bus; when given it is shared down into the
         engine (unless the engine already carries a live bus), and the
@@ -229,6 +322,7 @@ class MAEPretrainer(CheckpointingTrainer):
         checkpoint_dir: str | None = None,
         save_every: int = 0,
         keep: int = 3,
+        preemption: PreemptionToken | None = None,
         telemetry: TelemetryBus | None = None,
     ):
         if images.ndim != 4:
@@ -251,7 +345,7 @@ class MAEPretrainer(CheckpointingTrainer):
         self.schedule = schedule
         self.seed = seed
         self.steps_per_epoch = len(images) // global_batch
-        self._init_checkpointing(checkpoint_dir, save_every, keep)
+        self._init_checkpointing(checkpoint_dir, save_every, keep, preemption)
         self._init_telemetry(telemetry)
         if workspace and engine.model.workspace is None:
             engine.model.use_workspace(Workspace())

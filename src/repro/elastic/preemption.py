@@ -1,0 +1,135 @@
+"""Simulated Slurm preemption: signal handling and drain tokens.
+
+The shape follows the cluster requeue handler that real Frontier/Slurm
+jobs install (SNIPPETS.md snippet 3): the scheduler delivers
+``SIGUSR1``/``SIGTERM`` ahead of the kill, a module flag flips, and the
+training loop — not the signal handler — drains the in-flight step,
+writes a final checkpoint, and requeues itself. Two rules carry over
+verbatim:
+
+- **Only the main process reacts.** Spawned backend workers inherit
+  nothing here (they never install the handler), and a handler that
+  somehow runs in a child compares ``os.getpid()`` against the
+  installing PID and does nothing — the exponential-requeue footgun the
+  exemplar warns about.
+- **The handler only sets a flag.** All real work (finishing the step,
+  checkpointing, unwinding) happens at a step boundary in the training
+  loop, where the program state is consistent.
+
+:class:`PreemptionToken` is the flag object, shared between the handler
+(or a test/scheduler that calls :meth:`PreemptionToken.trip` directly)
+and the trainers, which check it once per recorded step. Tokens can
+also be *armed* at an absolute step for deterministic chaos campaigns —
+"the scheduler preempts this run at step 7" — without any signal
+involved.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+__all__ = ["PreemptionToken", "PreemptionHandler"]
+
+
+class PreemptionToken:
+    """Thread-safe preemption flag checked at step boundaries.
+
+    The token trips either asynchronously (:meth:`trip`, e.g. from a
+    signal handler) or deterministically when training reaches an armed
+    absolute step (:meth:`arm_at_step`). Trainers call
+    :meth:`should_preempt` after recording each optimizer step.
+    """
+
+    def __init__(self) -> None:
+        self._tripped = threading.Event()
+        self._lock = threading.Lock()
+        self._armed_step: int | None = None
+        self.reason: str | None = None
+
+    def trip(self, reason: str = "signal") -> None:
+        """Request a drain at the next step boundary."""
+        with self._lock:
+            if self.reason is None:
+                self.reason = reason
+        self._tripped.set()
+
+    def arm_at_step(self, step: int) -> None:
+        """Schedule a deterministic preemption once ``step`` completes."""
+        if step < 0:
+            raise ValueError(f"step must be non-negative, got {step}")
+        with self._lock:
+            self._armed_step = step
+
+    @property
+    def tripped(self) -> bool:
+        """True once an asynchronous preemption was requested."""
+        return self._tripped.is_set()
+
+    def should_preempt(self, step: int) -> bool:
+        """Whether a run that just completed ``step`` must drain now."""
+        if self._tripped.is_set():
+            return True
+        with self._lock:
+            armed = self._armed_step
+        if armed is not None and step >= armed:
+            with self._lock:
+                if self.reason is None:
+                    self.reason = f"scheduler preemption armed at step {armed}"
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear the flag and any armed step (for the next allocation)."""
+        self._tripped.clear()
+        with self._lock:
+            self._armed_step = None
+            self.reason = None
+
+
+class PreemptionHandler:
+    """Context manager installing signal handlers that trip a token.
+
+    ::
+
+        token = PreemptionToken()
+        with PreemptionHandler(token):
+            trainer = MAEPretrainer(..., preemption=token)
+            try:
+                trainer.resume(total_steps)
+            except PreemptedError as e:
+                requeue_from(e.checkpoint)
+
+    Previously-installed handlers are restored on exit. Signals received
+    by a process other than the installer (a spawned backend worker that
+    inherited the handler through re-import would be a bug, but defense
+    in depth is cheap) are ignored.
+    """
+
+    def __init__(
+        self,
+        token: PreemptionToken,
+        signals: tuple[signal.Signals, ...] = (signal.SIGUSR1, signal.SIGTERM),
+    ) -> None:
+        self.token = token
+        self.signals = signals
+        self._main_pid = os.getpid()
+        self._previous: dict[int, object] = {}
+
+    def _handle(self, signum: int, frame) -> None:
+        if os.getpid() != self._main_pid:
+            return  # only the installing (main) process drains and requeues
+        self.token.trip(reason=f"signal {signal.Signals(signum).name}")
+
+    def __enter__(self) -> "PreemptionHandler":
+        for sig in self.signals:
+            self._previous[int(sig)] = signal.getsignal(sig)
+            signal.signal(sig, self._handle)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig in self.signals:
+            prev = self._previous.pop(int(sig), None)
+            if prev is not None:
+                signal.signal(sig, prev)

@@ -1,0 +1,186 @@
+"""ReductionLayout: the invariant a resize must preserve.
+
+Unit coverage of the layout algebra plus the empirical theorem the whole
+elastic subsystem rests on: configurations sharing ``(total, chunk)``
+train fp32 **bit-identically**, across strategies, world sizes, and
+accumulation depths — including HYBRID_SHARD *folded* to a single
+reduction stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.world import World
+from repro.core.engine import EngineConfig, make_engine
+from repro.core.trainer import MAEPretrainer
+from repro.elastic.layout import (
+    SINGLE_STAGE_STRATEGIES,
+    ReductionLayout,
+    natural_layout,
+    validate_layout,
+)
+from repro.models.mae import MaskedAutoencoder
+from repro.optim.schedules import CosineWithWarmup
+
+N_STEPS = 3
+GLOBAL_BATCH = 8
+
+
+class TestReductionLayout:
+    def test_chunk_must_divide_total(self):
+        with pytest.raises(ValueError, match="must divide"):
+            ReductionLayout(total=6, chunk=4)
+
+    @pytest.mark.parametrize("field", ["total", "chunk"])
+    def test_positive_fields(self, field):
+        kwargs = {"total": 4, "chunk": 4}
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            ReductionLayout(**kwargs)
+
+    def test_single_stage_and_chunks(self):
+        assert ReductionLayout(total=8, chunk=8).single_stage
+        chunked = ReductionLayout(total=8, chunk=2)
+        assert not chunked.single_stage
+        assert chunked.n_chunks == 4
+        assert "total=8" in chunked.describe()
+
+
+class TestNaturalLayout:
+    @pytest.mark.parametrize("strategy", sorted(SINGLE_STAGE_STRATEGIES))
+    def test_single_stage_strategies(self, strategy):
+        lay = natural_layout(strategy, world_size=4, grad_accum_steps=2)
+        assert lay == ReductionLayout(total=8, chunk=8)
+
+    def test_hybrid_chunks_by_shard_group(self):
+        lay = natural_layout("HYBRID_SHARD", 8, shard_size=2, grad_accum_steps=1)
+        assert lay == ReductionLayout(total=8, chunk=2)
+
+    def test_hybrid_requires_shard_size(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            natural_layout("HYBRID_SHARD", 8)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            natural_layout("MAGIC_SHARD", 4)
+
+
+class TestValidateLayout:
+    def test_none_returns_natural(self):
+        lay = validate_layout("DDP", 4, None, 2, None)
+        assert lay == ReductionLayout(total=8, chunk=8)
+
+    def test_total_mismatch_names_the_fix(self):
+        with pytest.raises(ValueError, match="grad_accum_steps"):
+            validate_layout("DDP", 4, None, 1, ReductionLayout(total=8, chunk=8))
+
+    def test_single_stage_refuses_chunked(self):
+        with pytest.raises(ValueError, match="HYBRID_SHARD with shard_size=2"):
+            validate_layout(
+                "FULL_SHARD", 4, None, 1, ReductionLayout(total=4, chunk=2)
+            )
+
+    def test_hybrid_natural_chunk_passes(self):
+        lay = ReductionLayout(total=8, chunk=2)
+        assert validate_layout("HYBRID_SHARD", 8, 2, 1, lay) == lay
+
+    def test_hybrid_fold_needs_single_replica_group(self):
+        lay = ReductionLayout(total=8, chunk=8)
+        # shard_size == world_size: fold allowed.
+        assert validate_layout("HYBRID_SHARD", 4, 4, 2, lay) == lay
+        # more than one replica group: refused, fix spelled out.
+        with pytest.raises(ValueError, match="one replica group"):
+            validate_layout("HYBRID_SHARD", 8, 2, 1, lay)
+
+    def test_hybrid_unrealizable_chunk(self):
+        with pytest.raises(ValueError, match="cannot realize"):
+            validate_layout("HYBRID_SHARD", 8, 4, 1, ReductionLayout(total=8, chunk=2))
+
+
+def _losses_and_params(tiny_mae_cfg, strategy, world_size, *, shard_size=None,
+                       grad_accum_steps=1, layout=None):
+    model = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(7))
+    engine = make_engine(
+        model,
+        strategy,
+        world=World(size=world_size, ranks_per_node=world_size),
+        config=EngineConfig(
+            shard_size=shard_size,
+            grad_accum_steps=grad_accum_steps,
+            reduction_layout=layout,
+        ),
+    )
+    images = np.random.default_rng(11).standard_normal((16, 3, 16, 16))
+    schedule = CosineWithWarmup(base_lr=engine.lr, total_steps=N_STEPS, warmup_steps=1)
+    trainer = MAEPretrainer(
+        engine, images, global_batch=GLOBAL_BATCH, schedule=schedule, seed=9
+    )
+    losses = trainer.run(N_STEPS).losses
+    params = {n: p.data.copy() for n, p in model.named_parameters()}
+    return losses, params
+
+
+class TestLayoutTheorem:
+    """Same (total, chunk) => bit-identical fp32 training."""
+
+    def test_single_stage_family_is_bit_identical(self, tiny_mae_cfg):
+        # All these realize layout (4, 4): one stacked mean over 4 micros.
+        golden_losses, golden = _losses_and_params(tiny_mae_cfg, "DDP", 4)
+        variants = [
+            ("full_shard", dict(world_size=4)),
+            ("shard_grad_op", dict(world_size=4)),
+            ("no_shard", dict(world_size=4)),
+            ("ddp", dict(world_size=2, grad_accum_steps=2)),
+            ("full_shard", dict(world_size=1, grad_accum_steps=4)),
+        ]
+        for strategy, kw in variants:
+            losses, params = _losses_and_params(tiny_mae_cfg, strategy, **kw)
+            assert losses == golden_losses, strategy
+            for name in golden:
+                np.testing.assert_array_equal(
+                    params[name], golden[name], err_msg=f"{strategy}: {name}"
+                )
+
+    def test_hybrid_fold_joins_the_single_stage_family(self, tiny_mae_cfg):
+        # HYBRID W=2 shard=2 k=2 folded to layout (4, 4) == FULL_SHARD W=4.
+        golden_losses, golden = _losses_and_params(tiny_mae_cfg, "full_shard", 4)
+        losses, params = _losses_and_params(
+            tiny_mae_cfg,
+            "hybrid_shard",
+            2,
+            shard_size=2,
+            grad_accum_steps=2,
+            layout=ReductionLayout(total=4, chunk=4),
+        )
+        assert losses == golden_losses
+        for name in golden:
+            np.testing.assert_array_equal(params[name], golden[name], err_msg=name)
+
+    def test_hybrid_chunked_family_is_bit_identical(self, tiny_mae_cfg):
+        # Layout (4, 2): chunks of 2 across different worlds.
+        golden_losses, golden = _losses_and_params(
+            tiny_mae_cfg, "hybrid_shard", 4, shard_size=2
+        )
+        losses, params = _losses_and_params(
+            tiny_mae_cfg,
+            "hybrid_shard",
+            2,
+            shard_size=2,
+            grad_accum_steps=2,
+            layout=ReductionLayout(total=4, chunk=2),
+        )
+        assert losses == golden_losses
+        for name in golden:
+            np.testing.assert_array_equal(params[name], golden[name], err_msg=name)
+
+    def test_engine_refuses_unrealizable_layout(self, tiny_mae_cfg):
+        model = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(7))
+        with pytest.raises(ValueError, match="single stage"):
+            make_engine(
+                model,
+                "full_shard",
+                world=World(size=4, ranks_per_node=4),
+                config=EngineConfig(reduction_layout=ReductionLayout(4, 2)),
+            )

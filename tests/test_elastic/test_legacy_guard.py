@@ -1,0 +1,181 @@
+"""Legacy checkpoints and cursors meet a resized world: typed refusals.
+
+The regression this suite pins (ISSUE satellite): a pre-elastic
+checkpoint or sampler cursor loaded into a differently-sized world must
+fail with an actionable :class:`ElasticCompatibilityError` instead of
+silently mis-striding the data stream or following a shifted trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.world import World
+from repro.core.checkpoints import CheckpointManager
+from repro.core.engine import EngineConfig, make_engine
+from repro.core.trainer import MAEPretrainer
+from repro.data.sampler import DistributedSampler
+from repro.elastic.errors import ElasticCompatibilityError
+from repro.elastic.layout import ReductionLayout
+from repro.elastic.requeue import elastic_resume
+from repro.models.mae import MaskedAutoencoder
+from repro.optim.schedules import CosineWithWarmup
+
+LAYOUT = ReductionLayout(total=4, chunk=4)
+TOTAL_STEPS = 4
+
+
+class TestSamplerCursorGuards:
+    def test_legacy_cursor_without_world_size_is_refused(self):
+        sampler = DistributedSampler(16, 4, rank=0)
+        legacy = {"epoch": 0, "consumed": 2}  # pre-elastic format
+        with pytest.raises(ElasticCompatibilityError, match="mis-stride"):
+            sampler.load_state_dict(legacy)
+
+    def test_legacy_message_names_the_way_out(self):
+        sampler = DistributedSampler(16, 2, rank=0)
+        with pytest.raises(
+            ElasticCompatibilityError, match="epoch_indices"
+        ):
+            sampler.load_state_dict({"epoch": 1, "consumed": 0})
+
+    @pytest.mark.parametrize(
+        ("field", "value"),
+        [("n_items", 32), ("seed", 77), ("drop_last", False)],
+    )
+    def test_stream_parameter_mismatch_is_refused(self, field, value):
+        src = DistributedSampler(16, 4, rank=0)
+        sd = src.state_dict()
+        sd[field] = value
+        dst = DistributedSampler(16, 4, rank=0)
+        with pytest.raises(ElasticCompatibilityError, match=field):
+            dst.load_state_dict(sd)
+
+    def test_non_boundary_global_position_is_refused(self):
+        src = DistributedSampler(16, 2, rank=0)
+        src.advance(1)  # global position 2
+        dst = DistributedSampler(16, 4, rank=0)
+        with pytest.raises(ElasticCompatibilityError, match="boundary"):
+            dst.load_state_dict(src.state_dict())
+
+    def test_epoch_capacity_overflow_is_refused(self):
+        # drop_last=False pads the permutation: 10 items at W=4 give
+        # per_rank 3 (global 12), which overflows W=2's capacity of
+        # 5 items/rank.
+        src = DistributedSampler(10, 4, rank=0, drop_last=False)
+        src.consumed = 3
+        dst = DistributedSampler(10, 2, rank=0, drop_last=False)
+        with pytest.raises(ElasticCompatibilityError, match="capacity"):
+            dst.load_state_dict(src.state_dict())
+
+    def test_compatible_cursor_loads_exactly(self):
+        src = DistributedSampler(16, 2, rank=0, seed=5)
+        src.advance(6)  # global position 12, epoch rolls at 8/rank
+        dst = DistributedSampler(16, 4, rank=1, seed=5)
+        dst.load_state_dict(src.state_dict())
+        assert (dst.epoch, dst.consumed) == (src.epoch, 12 // 4)
+
+
+def _trainer(tiny_mae_cfg, images, strategy, world_size, *, schedule,
+             grad_accum_steps=1, init_seed=7, **kw):
+    model = MaskedAutoencoder(tiny_mae_cfg, rng=np.random.default_rng(init_seed))
+    engine = make_engine(
+        model,
+        strategy,
+        world=World(size=world_size, ranks_per_node=world_size),
+        config=EngineConfig(
+            grad_accum_steps=grad_accum_steps, reduction_layout=LAYOUT
+        ),
+    )
+    return MAEPretrainer(
+        engine, images, global_batch=8, schedule=schedule, seed=9, **kw
+    )
+
+
+def _strip_elastic_meta(src_dir, dst_dir):
+    """Re-save the latest snapshot without its topology record,
+    simulating a checkpoint written before elastic resizing existed."""
+    state, meta, step = CheckpointManager(str(src_dir)).latest_valid()
+    legacy_meta = {k: v for k, v in meta.items() if k != "elastic"}
+    assert "elastic" in meta, "premise: modern snapshots record topology"
+    CheckpointManager(str(dst_dir)).save(state, step=step, meta=legacy_meta)
+
+
+class TestLegacyCheckpointGuards:
+    @pytest.fixture
+    def images(self):
+        return np.random.default_rng(11).standard_normal((16, 3, 16, 16))
+
+    @pytest.fixture
+    def schedule(self):
+        return CosineWithWarmup(
+            base_lr=1e-3, total_steps=TOTAL_STEPS, warmup_steps=1
+        )
+
+    def test_legacy_fsdp_snapshot_into_resized_world_is_typed(
+        self, tiny_mae_cfg, images, schedule, tmp_path
+    ):
+        # FULL_SHARD W=4 snapshot, topology record stripped, loaded into
+        # a W=2 world: the structural failure deep in the optimizer must
+        # surface as the typed error pointing at elastic_resume, never a
+        # silent mis-stride.
+        first = _trainer(
+            tiny_mae_cfg, images, "full_shard", 4, schedule=schedule,
+            checkpoint_dir=str(tmp_path / "src"), save_every=1,
+        )
+        first.run(2)
+        _strip_elastic_meta(tmp_path / "src", tmp_path / "legacy")
+
+        resized = _trainer(
+            tiny_mae_cfg, images, "full_shard", 2, schedule=schedule,
+            grad_accum_steps=2, init_seed=99,
+            checkpoint_dir=str(tmp_path / "legacy"), save_every=1,
+        )
+        with pytest.raises(
+            ElasticCompatibilityError, match="elastic_resume"
+        ):
+            resized.resume(TOTAL_STEPS)
+
+    def test_elastic_resume_refuses_legacy_snapshot(
+        self, tiny_mae_cfg, images, schedule, tmp_path
+    ):
+        # Even the resharding path cannot reshard without knowing the
+        # source topology; legacy snapshots get a typed refusal, not a
+        # guess.
+        first = _trainer(
+            tiny_mae_cfg, images, "full_shard", 4, schedule=schedule,
+            checkpoint_dir=str(tmp_path / "src"), save_every=1,
+        )
+        first.run(2)
+        _strip_elastic_meta(tmp_path / "src", tmp_path / "legacy")
+
+        resized = _trainer(
+            tiny_mae_cfg, images, "ddp", 2, schedule=schedule,
+            grad_accum_steps=2, init_seed=99,
+            checkpoint_dir=str(tmp_path / "legacy"), save_every=1,
+        )
+        with pytest.raises(ElasticCompatibilityError, match="predates"):
+            elastic_resume(resized, TOTAL_STEPS)
+
+    def test_modern_snapshot_topology_mismatch_is_typed(
+        self, tiny_mae_cfg, images, schedule, tmp_path
+    ):
+        # With the topology record present, even a load that would
+        # succeed structurally (DDP replicates everything) is refused on
+        # a plain resume: the trajectory would differ.
+        first = _trainer(
+            tiny_mae_cfg, images, "ddp", 4, schedule=schedule,
+            checkpoint_dir=str(tmp_path), save_every=1,
+        )
+        first.run(2)
+        resized = _trainer(
+            tiny_mae_cfg, images, "ddp", 2, schedule=schedule,
+            grad_accum_steps=2, init_seed=99,
+            checkpoint_dir=str(tmp_path), save_every=1,
+        )
+        with pytest.raises(
+            ElasticCompatibilityError, match="world_size"
+        ) as exc:
+            resized.resume(TOTAL_STEPS)
+        assert "elastic_resume" in str(exc.value)

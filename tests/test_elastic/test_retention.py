@@ -1,0 +1,97 @@
+"""CheckpointManager retention under a requeue storm.
+
+Repeated preempt/save/requeue cycles (every step snapshotting, tight
+``keep`` budget) must never orphan atomic-write tmp files, exceed the
+retention budget, or leave the latest pointer invalid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoints import CheckpointManager
+from repro.core.trainer import MAEPretrainer
+from repro.elastic.layout import ReductionLayout
+from repro.elastic.requeue import Allocation, RequeueDriver, ResizeScheduler
+from repro.models.mae import MaskedAutoencoder
+from repro.core.config import MAEConfig, ViTConfig
+from repro.optim.schedules import CosineWithWarmup
+
+TOTAL_STEPS = 6
+KEEP = 3
+LAYOUT = ReductionLayout(total=4, chunk=4)
+
+
+def _model(init_seed=7):
+    cfg = MAEConfig(
+        encoder=ViTConfig(
+            name="retention-tiny", width=16, depth=2, mlp=32, heads=4,
+            patch=8, img_size=16,
+        ),
+        dec_width=16,
+        dec_depth=1,
+        dec_heads=4,
+        mask_ratio=0.5,
+    )
+    return MaskedAutoencoder(cfg, rng=np.random.default_rng(init_seed))
+
+
+@pytest.fixture
+def stormed_dir(tmp_path):
+    """Run a 5-requeue storm over 6 steps; return the checkpoint dir."""
+    images = np.random.default_rng(11).standard_normal((16, 3, 16, 16))
+    schedule = CosineWithWarmup(
+        base_lr=1e-3, total_steps=TOTAL_STEPS, warmup_steps=1
+    )
+
+    def make_trainer(alloc: Allocation, token):
+        engine = alloc.build(_model(), LAYOUT)
+        return MAEPretrainer(
+            engine,
+            images,
+            global_batch=8,
+            schedule=schedule,
+            seed=9,
+            checkpoint_dir=str(tmp_path),
+            save_every=1,
+            keep=KEEP,
+            preemption=token,
+        )
+
+    scheduler = ResizeScheduler(
+        LAYOUT, TOTAL_STEPS, seed=3, n_resizes=TOTAL_STEPS - 1
+    )
+    driver = RequeueDriver(make_trainer, scheduler)
+    report = driver.train(TOTAL_STEPS, Allocation("FULL_SHARD", 4))
+    assert report.requeues == TOTAL_STEPS - 1  # premise: a real storm
+    return tmp_path
+
+
+class TestRetentionUnderStorm:
+    def test_no_orphaned_tmp_files(self, stormed_dir):
+        # Atomic writes stage through .ckpt-*.tmp; every cycle must
+        # either publish or clean its staging file.
+        strays = [
+            p.name
+            for p in stormed_dir.iterdir()
+            if p.name.startswith(".ckpt-") or p.name.endswith(".tmp")
+        ]
+        assert strays == []
+
+    def test_retention_budget_is_respected(self, stormed_dir):
+        mgr = CheckpointManager(str(stormed_dir), keep=KEEP)
+        assert len(mgr.steps()) <= KEEP
+
+    def test_latest_pointer_is_valid_and_final(self, stormed_dir):
+        mgr = CheckpointManager(str(stormed_dir), keep=KEEP)
+        loaded = mgr.latest_valid()
+        assert loaded is not None
+        state, meta, step = loaded
+        assert step == TOTAL_STEPS
+        assert "elastic" in meta  # topology record survives the storm
+        assert "engine" in state
+
+    def test_only_checkpoint_files_remain(self, stormed_dir):
+        names = sorted(p.name for p in stormed_dir.iterdir())
+        assert all(n.endswith(".npz") for n in names), names
