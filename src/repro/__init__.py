@@ -80,6 +80,7 @@ from repro.elastic import (
 )
 from repro.eval.linear_probe import linear_probe
 from repro.hardware.frontier import FRONTIER, frontier_machine
+from repro.mesh import DeviceMesh, MeshEngine, MeshSpec, TPContext
 from repro.models.mae import MaskedAutoencoder
 from repro.models.vit import VisionTransformer
 from repro.optim.adamw import AdamW
@@ -133,6 +134,10 @@ __all__ = [
     "WorkerStepError",
     "FSDPEngine",
     "DDPEngine",
+    "DeviceMesh",
+    "MeshSpec",
+    "MeshEngine",
+    "TPContext",
     "MAEPretrainer",
     "SimCLRPretrainer",
     "TrainResult",

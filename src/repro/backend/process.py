@@ -238,6 +238,15 @@ def _worker_main(spec: dict, conn) -> None:
 
     bus = TelemetryBus(RecordingSink())
     sink = bus.sink
+    # A mesh engine's TP context unpickles with its comm/bus nulled
+    # (SimComm state must stay per-process); rewire it against this
+    # worker's own collective engine and telemetry bus so the
+    # load-bearing tp all-gathers run (and are accounted) locally.
+    tp = model.tensor_parallel
+    if tp is not None:
+        from repro.comm.collectives import SimComm
+
+        tp.rewire(SimComm(), bus)
     events_offset, events_capacity = spec["events"]
     events = EventBuffer(arena, events_offset, events_capacity)
     data_arena: ShmArena | None = None
@@ -271,6 +280,10 @@ def _worker_main(spec: dict, conn) -> None:
             if telemetry_on:
                 bus.gauge("worker.cpu_s", cpu_s, rank=rank, round=round_index)
                 _flush_events(sink, events)
+            else:
+                # TP spans record unconditionally; don't let them pile up
+                # across steps when the parent isn't draining events.
+                sink.events.clear()
             conn.send(("ok", seq, loss, cpu_s))
         except Exception:
             # Same cleanup contract as the inline engines: never leave a
@@ -306,7 +319,9 @@ class ProcessBackend(ExecutionBackend):
         super().__init__(engine)
         cfg = engine.config
         self.k = cfg.grad_accum_steps
-        self.world_size = engine.world.size
+        # Mesh engines compute only on the dp axis (tp/pp are folded
+        # into each rank's step); plain engines compute on every rank.
+        self.world_size = getattr(engine, "compute_world_size", engine.world.size)
         self.mode = "fsdp" if hasattr(engine, "units") else "ddp"
         if self.mode == "fsdp":
             self._targets = engine.units

@@ -59,7 +59,7 @@ from repro.comm.faults import (
     buffer_crc,
     corrupt_copy,
 )
-from repro.comm.world import Group
+from repro.comm.world import Group, pair_group
 from repro.precision.bf16 import wire_fraction
 
 __all__ = ["SimComm", "CommStats", "ReduceOp"]
@@ -107,6 +107,12 @@ class CommStats:
         wire bytes land in.
         """
         self.calls_by_op[op] += 1
+        if op == "send":
+            # Point-to-point: the payload crosses the wire exactly once.
+            wire = full_bytes
+            self.bytes_by_op[op] += wire
+            self.bytes_by_dtype[dtype] += wire
+            return
         g = group_size
         if op == "all_gather" or op == "reduce_scatter":
             wire = (g - 1) / g * full_bytes * g
@@ -352,6 +358,28 @@ class SimComm:
         reduced = _reduce(np.stack(buffers), op)
         chunk = n // g
         return [reduced[i * chunk : (i + 1) * chunk].copy() for i in range(g)]
+
+    def send(
+        self,
+        buf: np.ndarray,
+        src: int,
+        dst: int,
+        *,
+        wire_dtype: str | None = None,
+    ) -> np.ndarray:
+        """Point-to-point send from ``src`` to ``dst``; returns the received copy.
+
+        The pipeline engine moves stage-boundary activations (forward)
+        and their gradients (backward) through this op. The receiver
+        must consume the *returned* array — never the sender's buffer —
+        mirroring separate address spaces exactly like the collectives.
+        Wire accounting books the payload once (no ring factor).
+        """
+        group = pair_group(src, dst)
+        full, dtype = self._wire_bytes(buf.nbytes, wire_dtype)
+        self.stats.record("send", group.size, full, dtype=dtype)
+        self._inject_faults("send", group, [buf, buf])
+        return buf.copy()
 
     def broadcast(
         self,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["World", "Group", "make_hybrid_mesh", "HybridMesh"]
+__all__ = ["World", "Group", "make_hybrid_mesh", "HybridMesh", "pair_group"]
 
 
 @dataclass(frozen=True)
@@ -107,6 +107,17 @@ class World:
         return len({self.node_of(r) for r in group.ranks})
 
 
+def pair_group(src: int, dst: int) -> Group:
+    """The 2-rank group of a point-to-point transfer (``SimComm.send``).
+
+    Lives here because ``Group`` construction is confined to this module
+    and :mod:`repro.mesh` (see ``tools/mesh_discipline_check.py``).
+    """
+    if src == dst:
+        raise ValueError(f"a point-to-point pair needs distinct ranks, got {src}")
+    return Group((src, dst))
+
+
 @dataclass(frozen=True)
 class HybridMesh:
     """The 2-D (replica x shard) mesh used by ``HYBRID_SHARD``.
@@ -151,6 +162,13 @@ def make_hybrid_mesh(world: World, shard_size: int) -> HybridMesh:
     ``shard_size=1`` degenerates to pure data parallelism (the paper's
     ``HYBRID_1GPU``); ``shard_size == world.size`` degenerates to
     ``FULL_SHARD`` over the whole world.
+
+    .. deprecated::
+        This is now a thin wrapper over the general N-D
+        :class:`repro.mesh.DeviceMesh` — a 2-D ``("replica", "shard")``
+        mesh whose inner (contiguous) axis is the shard axis. New code
+        should build a :class:`~repro.mesh.DeviceMesh` directly; this
+        wrapper stays for the HYBRID_SHARD engine and existing callers.
     """
     if shard_size <= 0:
         raise ValueError(f"shard_size must be positive, got {shard_size}")
@@ -158,13 +176,15 @@ def make_hybrid_mesh(world: World, shard_size: int) -> HybridMesh:
         raise ValueError(
             f"world size {world.size} not divisible by shard size {shard_size}"
         )
-    n_groups = world.size // shard_size
-    shard_groups = tuple(
-        Group(tuple(range(g * shard_size, (g + 1) * shard_size)))
-        for g in range(n_groups)
+    # Imported lazily: device_mesh imports Group/World from this module.
+    from repro.mesh.device_mesh import DeviceMesh
+
+    mesh = DeviceMesh(
+        world,
+        (world.size // shard_size, shard_size),
+        ("replica", "shard"),
     )
-    replica_groups = tuple(
-        Group(tuple(g * shard_size + j for g in range(n_groups)))
-        for j in range(shard_size)
+    return HybridMesh(
+        shard_groups=mesh.groups("shard"),
+        replica_groups=mesh.groups("replica"),
     )
-    return HybridMesh(shard_groups=shard_groups, replica_groups=replica_groups)

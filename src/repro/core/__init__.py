@@ -27,12 +27,7 @@ from repro.core.config import (
     get_vit_config,
 )
 from repro.core.ddp import DDPEngine
-from repro.core.engine import (
-    STRATEGY_CHOICES,
-    EngineConfig,
-    make_engine,
-    reset_deprecation_warnings,
-)
+from repro.core.engine import STRATEGY_CHOICES, EngineConfig, make_engine
 from repro.core.fsdp import FSDPEngine
 from repro.core.sharding import (
     BackwardPrefetch,
@@ -62,7 +57,6 @@ __all__ = [
     "EngineConfig",
     "make_engine",
     "STRATEGY_CHOICES",
-    "reset_deprecation_warnings",
     "FSDPEngine",
     "DDPEngine",
     "MAEPretrainer",

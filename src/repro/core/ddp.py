@@ -29,7 +29,7 @@ from repro.comm.bucketing import bucket_gradients
 from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World
-from repro.core.engine import EngineConfig, warn_deprecated_kwarg
+from repro.core.engine import EngineConfig
 from repro.core.mixed_precision import MixedPrecisionMixin
 from repro.elastic.layout import validate_layout
 from repro.models.module import Module
@@ -41,10 +41,12 @@ __all__ = ["DDPEngine"]
 
 StepFn = Callable[[Module, Any], float]
 
-#: Legacy kwarg -> (canonical EngineConfig field, converter).
-_LEGACY_KWARGS = {
-    "bucket_cap_mb": ("bucket_cap_bytes", lambda v: int(v * 1024 * 1024)),
-    "retries": ("retry_policy", lambda v: RetryPolicy(max_retries=int(v))),
+#: Removed legacy kwarg -> canonical EngineConfig field (migration hint).
+#: The one-shot DeprecationWarning shims completed their cycle; passing
+#: one of these is now a hard TypeError.
+_REMOVED_KWARGS = {
+    "bucket_cap_mb": "bucket_cap_bytes",
+    "retries": "retry_policy",
 }
 
 
@@ -72,14 +74,12 @@ class DDPEngine(MixedPrecisionMixin):
         telemetry=None,
         **legacy,
     ):
-        for old, (new, convert) in _LEGACY_KWARGS.items():
+        for old, new in _REMOVED_KWARGS.items():
             if old in legacy:
-                warn_deprecated_kwarg("DDPEngine", old, new)
-                value = convert(legacy.pop(old))
-                if old == "bucket_cap_mb":
-                    bucket_cap_bytes = value
-                else:
-                    retry_policy = value
+                raise TypeError(
+                    f"DDPEngine({old}=...) was removed; pass {new} through "
+                    f"EngineConfig ({new}=...) or make_engine(..., {new}=...)"
+                )
         if legacy:
             raise TypeError(f"unknown DDPEngine kwargs: {sorted(legacy)}")
         if config is None:

@@ -13,13 +13,23 @@ trainers' kwargs). Now every engine is built one way::
 
 ``DDPEngine(...)`` / ``FSDPEngine(...)`` keep working — their
 ``__init__`` kwargs are normalized into the same :class:`EngineConfig`
-internally — and renamed/divergent legacy kwargs are accepted through
-one-shot :class:`DeprecationWarning` shims.
+internally. The pre-``EngineConfig`` legacy kwargs (``bucket_cap_mb``,
+``retries``, ``sharding_strategy``, ``prefetch``) have completed their
+deprecation cycle and now raise :class:`TypeError` with the migration
+spelled out.
+
+Mesh-first construction: setting ``EngineConfig(mesh=MeshSpec(...))``
+routes :func:`make_engine` to :class:`~repro.mesh.engine.MeshEngine`,
+which composes tensor/pipeline parallelism with the ``"ddp"`` or
+``"full_shard"`` data-parallel strategy over a
+:class:`~repro.mesh.device_mesh.DeviceMesh`::
+
+    engine = make_engine(model, "full_shard", world=World(8),
+                         mesh=MeshSpec(pp=2, dp=2, tp=2))
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -29,6 +39,7 @@ from repro.comm.collectives import SimComm
 from repro.comm.faults import RetryPolicy
 from repro.core.sharding import BackwardPrefetch, ShardingStrategy, parse_strategy
 from repro.elastic.layout import ReductionLayout
+from repro.mesh.spec import MeshSpec
 from repro.optim.base import Optimizer
 from repro.precision.bf16 import PRECISIONS
 from repro.telemetry import TelemetryBus
@@ -43,8 +54,6 @@ __all__ = [
     "EngineConfig",
     "make_engine",
     "STRATEGY_CHOICES",
-    "warn_deprecated_kwarg",
-    "reset_deprecation_warnings",
 ]
 
 OptimizerFactory = Callable[[Sequence], Optimizer]
@@ -149,6 +158,8 @@ class EngineConfig:
     shard_size: int | None = None
     backward_prefetch: BackwardPrefetch = BackwardPrefetch.BACKWARD_PRE
     check_replicas: bool = False
+    # Mesh engine (tensor/pipeline parallelism composed with dp)
+    mesh: MeshSpec | None = None
 
     def __post_init__(self) -> None:
         if self.precision not in PRECISIONS:
@@ -180,28 +191,10 @@ class EngineConfig:
             )
         if self.shard_size is not None and self.shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
-
-
-_WARNED: set[tuple[str, str]] = set()
-
-
-def warn_deprecated_kwarg(owner: str, old: str, new: str) -> None:
-    """Emit a :class:`DeprecationWarning` for a renamed kwarg, once per
-    (owner, kwarg) pair for the lifetime of the process."""
-    key = (owner, old)
-    if key in _WARNED:
-        return
-    _WARNED.add(key)
-    warnings.warn(
-        f"{owner}({old}=...) is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def reset_deprecation_warnings() -> None:
-    """Re-arm the one-shot kwarg deprecation warnings (test hook)."""
-    _WARNED.clear()
+        if self.mesh is not None and not isinstance(self.mesh, MeshSpec):
+            raise TypeError(
+                f"mesh must be a MeshSpec, got {type(self.mesh).__name__}"
+            )
 
 
 def _normalize_strategy(strategy) -> tuple[ShardingStrategy, int | None]:
@@ -232,7 +225,10 @@ def make_engine(
         ``"ddp"``, ``"no_shard"``, ``"full_shard"``, ``"shard_grad_op"``,
         ``"hybrid_shard"`` (any case), a paper label like
         ``"HYBRID_2GPUs"`` (which also implies ``shard_size``), or a
-        :class:`~repro.core.sharding.ShardingStrategy` member.
+        :class:`~repro.core.sharding.ShardingStrategy` member. With
+        ``config.mesh`` set, only ``"ddp"`` and ``"full_shard"`` are
+        valid (the dp-axis strategy of the
+        :class:`~repro.mesh.engine.MeshEngine`).
     world:
         Rank layout.
     config:
@@ -242,15 +238,30 @@ def make_engine(
         ``config`` for one-off tweaks
         (``make_engine(..., shard_size=2)``).
 
-    Dispatches to :class:`~repro.core.ddp.DDPEngine` or
-    :class:`~repro.core.fsdp.FSDPEngine`; either way the engine trains
-    bit-identically to direct construction with the same settings
-    (tested per strategy).
+    Dispatches to :class:`~repro.core.ddp.DDPEngine`,
+    :class:`~repro.core.fsdp.FSDPEngine`, or (when ``config.mesh`` is
+    set) :class:`~repro.mesh.engine.MeshEngine`; either way the engine
+    trains bit-identically to direct construction with the same
+    settings (tested per strategy).
     """
     cfg = config if config is not None else EngineConfig()
     if overrides:
         cfg = replace(cfg, **overrides)
     strat, implied_shard = _normalize_strategy(strategy)
+    if cfg.mesh is not None:
+        if strat is ShardingStrategy.DDP:
+            dp_strategy = "ddp"
+        elif strat is ShardingStrategy.FULL_SHARD:
+            dp_strategy = "full_shard"
+        else:
+            raise ValueError(
+                f"strategy {strategy!r} cannot run on a mesh; the dp axis "
+                "composes with 'ddp' or 'full_shard'"
+            )
+        # Imported lazily: mesh.engine imports this module back.
+        from repro.mesh.engine import MeshEngine
+
+        return MeshEngine(model, world, dp_strategy=dp_strategy, config=cfg)
     if implied_shard is not None:
         if cfg.shard_size is not None and cfg.shard_size != implied_shard:
             raise ValueError(

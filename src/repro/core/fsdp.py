@@ -38,7 +38,7 @@ from repro.backend import GemmPool, make_backend
 from repro.comm.collectives import SimComm
 from repro.comm.faults import CollectiveError, RetryPolicy, call_with_retry
 from repro.comm.world import World, make_hybrid_mesh
-from repro.core.engine import EngineConfig, warn_deprecated_kwarg
+from repro.core.engine import EngineConfig
 from repro.core.mixed_precision import MixedPrecisionMixin
 from repro.core.sharding import (
     BackwardPrefetch,
@@ -57,8 +57,10 @@ __all__ = ["FSDPEngine"]
 StepFn = Callable[[Module, Any], float]
 OptimizerFactory = Callable[[Sequence], Optimizer]
 
-#: Legacy kwarg -> canonical parameter it renames.
-_LEGACY_KWARGS = {
+#: Removed legacy kwarg -> canonical parameter it renamed (migration
+#: hint). The one-shot DeprecationWarning shims completed their cycle;
+#: passing one of these is now a hard TypeError.
+_REMOVED_KWARGS = {
     "sharding_strategy": "strategy",
     "prefetch": "backward_prefetch",
 }
@@ -140,14 +142,12 @@ class FSDPEngine(MixedPrecisionMixin):
         telemetry=None,
         **legacy,
     ):
-        for old, new in _LEGACY_KWARGS.items():
+        for old, new in _REMOVED_KWARGS.items():
             if old in legacy:
-                warn_deprecated_kwarg("FSDPEngine", old, new)
-                value = legacy.pop(old)
-                if new == "strategy":
-                    strategy = value
-                else:
-                    backward_prefetch = value
+                raise TypeError(
+                    f"FSDPEngine({old}=...) was removed; pass {new}= "
+                    "directly (or through EngineConfig / make_engine)"
+                )
         if legacy:
             raise TypeError(f"unknown FSDPEngine kwargs: {sorted(legacy)}")
         if config is None:

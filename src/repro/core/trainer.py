@@ -241,6 +241,7 @@ class CheckpointingTrainer:
             "grad_accum_steps",
             "layout",
             "precision",
+            "mesh",
         )
         diffs = [
             f"{k}: snapshot {recorded.get(k)!r} != engine {current.get(k)!r}"
@@ -327,7 +328,9 @@ class MAEPretrainer(CheckpointingTrainer):
     ):
         if images.ndim != 4:
             raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
-        n_micros = engine.world.size * getattr(engine, "grad_accum_steps", 1)
+        n_micros = getattr(engine, "data_parallel_size", engine.world.size) * getattr(
+            engine, "grad_accum_steps", 1
+        )
         if global_batch % n_micros != 0:
             raise ValueError(
                 f"global batch {global_batch} not divisible by world size x "
@@ -383,10 +386,14 @@ class MAEPretrainer(CheckpointingTrainer):
                 total_steps=start_step + n_steps,
                 warmup_steps=max(1, (start_step + n_steps) // 10),
             )
-        # One micro slot per (accumulation round, rank), round-major — the
-        # same slicing a k-times-larger world would use rank-major, which
-        # is what keeps fp32 accumulation bit-identical across layouts.
-        n_micros = self.engine.world.size * getattr(self.engine, "grad_accum_steps", 1)
+        # One micro slot per (accumulation round, data-parallel rank),
+        # round-major — the same slicing a k-times-larger world would use
+        # rank-major, which is what keeps fp32 accumulation bit-identical
+        # across layouts. Mesh engines consume micros only along dp (tp
+        # ranks share each micro; pp ranks split the model, not the data).
+        n_micros = getattr(
+            self.engine, "data_parallel_size", self.engine.world.size
+        ) * getattr(self.engine, "grad_accum_steps", 1)
         micro = self.global_batch // n_micros
         result = TrainResult(steps_per_epoch=self.steps_per_epoch)
         order = self._epoch_order(start_step // self.steps_per_epoch)

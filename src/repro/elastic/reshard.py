@@ -88,6 +88,9 @@ class TopologySpec:
     layout: ReductionLayout
     precision: str
     backend: str
+    #: Mesh engines record their ``(pp, dp, tp, schedule)`` here; plain
+    #: DDP/FSDP topologies (and legacy snapshots) carry ``None``.
+    mesh: dict | None = None
 
     @classmethod
     def from_dict(cls, d: dict) -> "TopologySpec":
@@ -95,6 +98,7 @@ class TopologySpec:
             layout = ReductionLayout(
                 total=int(d["layout"]["total"]), chunk=int(d["layout"]["chunk"])
             )
+            mesh = d.get("mesh")
             return cls(
                 kind=str(d["kind"]),
                 strategy=str(d["strategy"]),
@@ -105,6 +109,7 @@ class TopologySpec:
                 layout=layout,
                 precision=str(d["precision"]),
                 backend=str(d["backend"]),
+                mesh=None if mesh is None else dict(mesh),
             )
         except (KeyError, TypeError) as e:
             raise ElasticCompatibilityError(
@@ -123,13 +128,20 @@ class TopologySpec:
             "layout": {"total": self.layout.total, "chunk": self.layout.chunk},
             "precision": self.precision,
             "backend": self.backend,
+            "mesh": None if self.mesh is None else dict(self.mesh),
         }
 
     def describe(self) -> str:
         """Human-readable one-liner (used in error messages)."""
         shard = f", shard_size={self.shard_size}" if self.shard_size else ""
+        mesh = ""
+        if self.mesh is not None:
+            mesh = (
+                f" mesh=pp{self.mesh.get('pp')}xdp{self.mesh.get('dp')}"
+                f"xtp{self.mesh.get('tp')}"
+            )
         return (
-            f"{self.strategy} world={self.world_size}{shard} "
+            f"{self.strategy} world={self.world_size}{shard}{mesh} "
             f"k={self.grad_accum_steps} layout={self.layout.describe()} "
             f"{self.precision}"
         )
@@ -149,6 +161,7 @@ class TopologySpec:
             and self.world_size == other.world_size
             and self.shard_size == other.shard_size
             and self.grad_accum_steps == other.grad_accum_steps
+            and self.mesh == other.mesh
             and self.same_trajectory(other)
         )
 
@@ -208,6 +221,20 @@ def _split_unit_flat(
     return [flat[plan.shard_slice(j)].copy() for j in range(shard_size)]
 
 
+def _slot_layout(topology: TopologySpec) -> str:
+    """Which optimizer slot layout a topology's state dict uses.
+
+    A mesh engine's optimizer mirrors its dp strategy exactly: flat
+    shards over ``shard_size == dp`` groups under full_shard (the fsdp
+    layout), per-parameter slots under ddp — so mesh snapshots reshard
+    through the same two mappings, keyed on whether the topology
+    recorded a shard size.
+    """
+    if topology.kind == "mesh":
+        return "fsdp" if topology.shard_size else "ddp"
+    return topology.kind
+
+
 def _unit_params(
     flat: np.ndarray, spec: UnitSpec
 ) -> dict[str, np.ndarray]:
@@ -246,7 +273,8 @@ def canonicalize(engine_sd: dict, model: "Module", topology: TopologySpec) -> di
     canon_slots: dict[str, dict[str, np.ndarray]] = {n: {} for n in names}
     canon_master: dict[str, np.ndarray] | None = None if masters is None else {}
 
-    if topology.kind == "fsdp":
+    kind = _slot_layout(topology)
+    if kind == "fsdp":
         specs = unit_param_specs(model)
         s = topology.shard_size or 1
         expect = len(specs) * s
@@ -270,7 +298,7 @@ def canonicalize(engine_sd: dict, model: "Module", topology: TopologySpec) -> di
                 )
                 for pname, arr in _unit_params(flat, spec).items():
                     canon_master[pname] = arr  # type: ignore[index]
-    elif topology.kind == "ddp":
+    elif kind == "ddp":
         if len(slots) != len(names):
             raise ElasticCompatibilityError(
                 f"optimizer has {len(slots)} per-parameter slots but the "
@@ -304,7 +332,8 @@ def decanonicalize(canonical: dict, model: "Module", topology: TopologySpec) -> 
     canon_master: dict[str, np.ndarray] | None = canonical["optim"]["master"]
     keys = _slot_keys(list(canon_slots.values()))
 
-    if topology.kind == "fsdp":
+    kind = _slot_layout(topology)
+    if kind == "fsdp":
         specs = unit_param_specs(model)
         s = topology.shard_size or 1
         slots: list[dict] = [dict() for _ in range(len(specs) * s)]
@@ -324,7 +353,7 @@ def decanonicalize(canonical: dict, model: "Module", topology: TopologySpec) -> 
                 }
                 for j, shard in enumerate(_split_unit_flat(per_param, spec, s)):
                     masters[u * s + j] = shard
-    elif topology.kind == "ddp":
+    elif kind == "ddp":
         slots = [dict(canon_slots[name]) for name in names]
         masters = (
             None

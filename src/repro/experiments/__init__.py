@@ -31,3 +31,4 @@ __all__ = ["report", "DownstreamRecipe", "PretrainedModel", "pretrain_suite"]
 # Experiment modules (imported lazily by the CLI and benches):
 #   table1, table2, fig1..fig6 — the paper's artifacts
 #   ablations, fewshot, adaptation, ssl_compare, segmentation_exp — extensions
+#   mesh_axes — per-axis comm breakdown across TP/PP/DP mesh compositions

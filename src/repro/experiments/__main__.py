@@ -13,7 +13,7 @@ from __future__ import annotations
 import sys
 import time
 
-_FAST = ["table1", "table2", "fig1", "fig2", "fig3", "fig4", "ablations"]
+_FAST = ["table1", "table2", "fig1", "fig2", "fig3", "fig4", "ablations", "mesh"]
 _SLOW = [
     "fig5", "table3", "fig6",
     "fewshot", "adaptation", "ssl", "segmentation",
@@ -77,6 +77,10 @@ def _render(name: str) -> str:
                 render_contention_sweep(),
             ]
         )
+    if name == "mesh":
+        from repro.experiments.mesh_axes import render_mesh_axes
+
+        return render_mesh_axes()
     if name == "fewshot":
         from repro.experiments.fewshot import render_fewshot, run_fewshot
 

@@ -1,0 +1,60 @@
+"""N-D device meshes and the parallelism layers composed over them.
+
+The mesh package generalizes the hard-coded 2-D replica x shard mesh of
+``comm/world.py`` into one composable stack:
+
+- :mod:`repro.mesh.spec` — :class:`MeshSpec`, the pure-literal
+  ``EngineConfig(mesh=...)`` value naming the ``("pp", "dp", "tp")``
+  axes (dependency leaf; importable from the config layer).
+- :mod:`repro.mesh.device_mesh` — :class:`DeviceMesh`, named-axis rank
+  grids with per-axis process-group extraction (the only place besides
+  ``comm/world.py`` allowed to construct ``Group`` objects; see
+  ``tools/mesh_discipline_check.py``).
+- :mod:`repro.mesh.tp` — :class:`TPContext`, megatron-style tensor
+  parallelism as load-bearing column-shard all-gathers.
+- :mod:`repro.mesh.pipeline` — GPipe / 1F1B schedules over
+  layer-partitioned op stages, plus closed-form boundary byte
+  accounting.
+- :mod:`repro.mesh.engine` — :class:`MeshEngine`, the engine that
+  composes all three axes with the existing ddp / full-shard
+  data-parallel strategies (built via
+  ``make_engine(model, strategy, world=..., mesh=MeshSpec(...))``).
+
+``MeshEngine`` is exposed lazily (PEP 562): ``repro.core.engine``
+imports this package for :class:`MeshSpec`, while ``mesh/engine.py``
+imports ``repro.core.engine`` back — the deferred attribute breaks the
+cycle.
+"""
+
+from repro.mesh.device_mesh import DeviceMesh
+from repro.mesh.pipeline import (
+    boundary_nbytes,
+    gpipe_schedule,
+    one_f_one_b_schedule,
+    partition_stages,
+    schedule_actions,
+)
+from repro.mesh.spec import MESH_AXIS_NAMES, PIPELINE_SCHEDULES, MeshSpec
+from repro.mesh.tp import TPContext
+
+__all__ = [
+    "DeviceMesh",
+    "MESH_AXIS_NAMES",
+    "MeshEngine",
+    "MeshSpec",
+    "PIPELINE_SCHEDULES",
+    "TPContext",
+    "boundary_nbytes",
+    "gpipe_schedule",
+    "one_f_one_b_schedule",
+    "partition_stages",
+    "schedule_actions",
+]
+
+
+def __getattr__(name: str):
+    if name == "MeshEngine":
+        from repro.mesh.engine import MeshEngine
+
+        return MeshEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,659 @@
+"""MeshEngine: tensor/pipeline/data parallelism over one named-axis mesh.
+
+The engine realizes an ``EngineConfig(mesh=MeshSpec(pp, dp, tp))`` as a
+3-D :class:`~repro.mesh.device_mesh.DeviceMesh` over the world and
+composes one parallelism layer per axis:
+
+``tp`` (innermost)
+    Megatron-style GEMM sharding via :class:`~repro.mesh.tp.TPContext`:
+    flagged layers route activations/input-gradients through
+    load-bearing column-shard all-gathers over the tp group. Weight
+    gradients are sharded by construction, so the axis needs no
+    gradient collective.
+``dp``
+    The existing data-parallel strategies, re-expressed over the dp
+    group: ``"ddp"`` all-reduces one concatenated full-model gradient
+    per (round, dp-rank) contribution; ``"full_shard"`` keeps flat
+    parameters sharded ``dp`` ways, all-gathering them each round and
+    reduce-scattering gradients (the FSDP ``FULL_SHARD`` call pattern).
+``pp`` (outermost)
+    Layer-partitioned pipeline stages running a GPipe or 1F1B schedule
+    (:mod:`repro.mesh.pipeline`); stage-boundary activations and
+    gradients move through ``SimComm.send``.
+
+**Bit-exactness.** Every axis is a fixed-point economy in fp32: tp
+gathers reassemble the exact single-GEMM output; the dp reduction
+stack-means the same contributions in the same order as the single-rank
+oracle running ``grad_accum_steps * dp`` accumulation rounds; pipeline
+stages recompute their forward before backward from per-micro context,
+so any valid schedule equals depth-first execution. Composed, a
+``(pp, dp, tp)`` engine trains fp32 bit-identically to the world-1 DDP
+oracle on the same global batch (differential-tested per axis and
+jointly, on both backends). The engine is therefore fp32-only: bf16
+emulation would need a per-axis rounding story this substrate does not
+model yet.
+
+**SPMD economy.** As everywhere in this codebase, all ranks share one
+process and one model instance. The tp/pp axes are *data-movement*
+axes: computation happens once, and the collectives move the real
+bytes so wire accounting is honest. Under the process backend, workers
+run microbatches depth-first (numerically identical); the parent books
+the schedule's boundary traffic analytically from
+:func:`~repro.mesh.pipeline.boundary_nbytes`, and tp gather bytes live
+in each worker's own ``SimComm`` ledger — cross-backend tests compare
+numerics and send bytes, not worker-local tp bytes. Inline pipeline
+recompute also books one extra tp gather per flagged GEMM (three
+passes instead of two); that is real traffic the recompute performs,
+not an accounting wrinkle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.backend import GemmPool, make_backend
+from repro.comm.collectives import SimComm
+from repro.comm.faults import CollectiveError, call_with_retry
+from repro.comm.world import World
+from repro.core.engine import EngineConfig
+from repro.core.mixed_precision import MixedPrecisionMixin
+from repro.core.sharding import default_wrap_units
+from repro.elastic.layout import validate_mesh_layout
+from repro.mesh.device_mesh import DeviceMesh
+from repro.mesh.pipeline import boundary_nbytes, partition_stages, schedule_actions
+from repro.mesh.spec import MESH_AXIS_NAMES, MeshSpec
+from repro.mesh.tp import TPContext
+from repro.models.module import Module
+from repro.optim.adamw import AdamW
+from repro.telemetry import NULL_BUS
+
+__all__ = ["MeshEngine", "DP_STRATEGIES"]
+
+StepFn = Callable[[Module, Any], float]
+
+#: Data-parallel strategies the dp axis can run.
+DP_STRATEGIES = ("ddp", "full_shard")
+
+
+def _validate_tp(model: Module, tp: int) -> None:
+    """Reject tp sizes the model's flagged GEMMs cannot shard evenly."""
+    for m in model.modules():
+        heads = getattr(m, "heads", None)
+        if heads is not None and heads % tp != 0:
+            raise ValueError(
+                f"tp={tp} does not divide the {heads} attention heads of "
+                f"{type(m).__name__}; tensor parallelism shards per-head "
+                "column blocks"
+            )
+        if getattr(m, "tp_shard", False):
+            for dim, label in (
+                (m.out_features, "out_features"),
+                (m.in_features, "in_features"),
+            ):
+                if dim % tp != 0:
+                    raise ValueError(
+                        f"tp={tp} does not divide {label}={dim} of a "
+                        "tp-sharded Linear; pick a tp that divides every "
+                        "flagged GEMM width"
+                    )
+
+
+class MeshEngine(MixedPrecisionMixin):
+    """Training engine over a ``(pp, dp, tp)`` device mesh.
+
+    Prefer :func:`repro.core.engine.make_engine` with
+    ``EngineConfig(mesh=MeshSpec(...))`` and strategy ``"ddp"`` or
+    ``"full_shard"`` (the dp-axis strategy). ``train_step`` consumes
+    ``grad_accum_steps * dp`` microbatches, round-major over the dp
+    axis — micro ``(round j, dp-rank r)`` sits at index ``j * dp + r``
+    — matching the ordering of the equivalent single-rank oracle.
+
+    Representative groups: collectives run over the *first* group of
+    each axis (``DeviceMesh.groups(axis)[0]``) because the one shared
+    model instance stands in for every coordinate of the other axes;
+    per-axis byte accounting is unchanged by that choice (the other
+    groups would carry identical payloads of the same single model).
+    The dp-axis parameter all-gather is likewise issued once over the
+    full flat units: pp partitions the parameters across stages and tp
+    shards flagged weights, so summing per-(pp, tp)-group gathers of
+    parameter slices equals one gather of the whole.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        world: World,
+        mesh: MeshSpec | None = None,
+        dp_strategy: str = "ddp",
+        *,
+        config: EngineConfig | None = None,
+        telemetry=None,
+    ):
+        if config is None:
+            config = EngineConfig(mesh=mesh, telemetry=telemetry)
+        if mesh is not None and config.mesh is not None and mesh != config.mesh:
+            raise ValueError(
+                f"mesh argument {mesh.describe()} disagrees with "
+                f"config.mesh {config.mesh.describe()}"
+            )
+        spec = mesh if mesh is not None else config.mesh
+        if spec is None:
+            raise ValueError(
+                "MeshEngine needs a MeshSpec: pass mesh=MeshSpec(...) or "
+                "EngineConfig(mesh=...)"
+            )
+        if config.mesh is None:
+            config = replace(config, mesh=spec)
+        if dp_strategy not in DP_STRATEGIES:
+            raise ValueError(
+                f"dp_strategy must be one of {DP_STRATEGIES}, got {dp_strategy!r}"
+            )
+        if config.precision != "fp32":
+            raise ValueError(
+                "MeshEngine is fp32-only: the per-axis bit-exactness "
+                "contract has no bf16 rounding story yet"
+            )
+        if spec.size != world.size:
+            raise ValueError(
+                f"mesh {spec.describe()} occupies {spec.size} ranks but the "
+                f"world has {world.size}; pp * dp * tp must equal the world "
+                "size"
+            )
+        if config.shard_size not in (None, spec.dp):
+            raise ValueError(
+                f"config.shard_size={config.shard_size} conflicts with the "
+                f"mesh dp axis; full_shard shards over dp={spec.dp}"
+            )
+        self.config = config
+        self.model = model
+        self.world = world
+        self.mesh_spec = spec
+        self.dp_strategy = dp_strategy
+        self.pp, self.dp, self.tp = spec.shape
+        self.schedule = spec.schedule
+        self.device_mesh = DeviceMesh(world, spec.shape, MESH_AXIS_NAMES)
+        self.comm = config.comm if config.comm is not None else SimComm()
+        self.retry_policy = config.retry_policy
+        self.telemetry = config.telemetry if config.telemetry is not None else NULL_BUS
+        self.layout = validate_mesh_layout(
+            self.dp, config.grad_accum_steps, config.reduction_layout
+        )
+        self._dp_group = self.device_mesh.groups("dp")[0]
+        self._tp_group = self.device_mesh.groups("tp")[0]
+        self._pp_group = self.device_mesh.groups("pp")[0]
+        self._param_dtype = model.parameters()[0].dtype
+
+        # -- tp axis ------------------------------------------------------
+        if self.tp > 1:
+            _validate_tp(model, self.tp)
+            self.tp_context: TPContext | None = TPContext(
+                self.tp,
+                self._tp_group,
+                self.comm,
+                bus=self.telemetry if self.telemetry.enabled else None,
+            )
+            model.use_tensor_parallel(self.tp_context)
+        else:
+            self.tp_context = None
+
+        # -- pp axis ------------------------------------------------------
+        if self.pp > 1:
+            ops_fn = getattr(model, "pipeline_ops", None)
+            if ops_fn is None:
+                raise TypeError(
+                    f"pp={self.pp} needs a model exposing pipeline_ops(); "
+                    f"{type(model).__name__} does not"
+                )
+            self._ops = list(ops_fn())
+            self._stage_bounds = partition_stages(len(self._ops), self.pp)
+            self._stage_params = self._stage_param_lists()
+        else:
+            self._ops = None
+            self._stage_bounds = None
+            self._stage_params = None
+
+        # -- dp axis ------------------------------------------------------
+        self.gemm_pool = (
+            GemmPool(config.intra_op_threads)
+            if config.intra_op_threads > 1
+            else None
+        )
+        if self.gemm_pool is not None:
+            model.use_gemm_pool(self.gemm_pool)
+        if dp_strategy == "full_shard":
+            # ``units``/``shard_size`` double as the process backend's
+            # fsdp-mode markers; the ddp branch must define neither.
+            self.shard_size = self.dp
+            self.units = default_wrap_units(model, self.dp)
+        else:
+            self.params = model.parameters()
+        # Backend before optimizer: a process backend re-homes parameter
+        # storage into shared memory first (same ordering as DDP/FSDP).
+        self._backend = make_backend(self)
+        if dp_strategy == "full_shard":
+            self._shards = [u.make_shards() for u in self.units]
+            opt_params = [s for shards in self._shards for s in shards]
+        else:
+            opt_params = self.params
+        factory = (
+            config.optimizer_factory
+            if config.optimizer_factory is not None
+            else AdamW
+        )
+        self.optimizer = factory(opt_params)
+        self._init_precision()
+        self._backend.start()
+        self.step_count = 0
+
+    # -- execution backend hooks -------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the active execution backend (``inline``/``process``)."""
+        return self._backend.name
+
+    @property
+    def data_parallel_size(self) -> int:
+        """Ranks along the dp axis (microbatches per accumulation round)."""
+        return self.dp
+
+    @property
+    def compute_world_size(self) -> int:
+        """Ranks that run distinct compute: the dp axis only.
+
+        The tp and pp axes are data-movement axes over the one shared
+        model; the process backend sizes its worker pool from this."""
+        return self.dp
+
+    def _microbatch_count(self) -> int:
+        """Microbatches one ``train_step`` consumes (rounds x dp ranks)."""
+        return self.grad_accum_steps * self.dp
+
+    def _zero_local_grads(self) -> None:
+        """Zero one dp rank's local gradients before its microbatch."""
+        if self.dp_strategy == "full_shard":
+            for unit in self.units:
+                unit.zero_grad()
+        else:
+            self.model.zero_grad()
+
+    def _collect_rank_grads(self) -> list[np.ndarray]:
+        """One dp rank's outbound (wire-ready) gradient contributions."""
+        if self.dp_strategy == "full_shard":
+            return [
+                self._outbound_grad(unit.read_grad(), owned=True)
+                for unit in self.units
+            ]
+        return [self._outbound_grad(p.grad) for p in self.params]
+
+    def close(self) -> None:
+        """Release backend resources (workers, shared memory, GEMM
+        threads). Idempotent; see :meth:`DDPEngine.close`."""
+        self._backend.shutdown()
+        if self.gemm_pool is not None:
+            self.gemm_pool.close()
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate (delegates to the optimizer)."""
+        return self.optimizer.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        """Current learning rate (delegates to the optimizer)."""
+        self.optimizer.lr = value
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Engine snapshot: model params, optimizer state, scaler, step."""
+        return {
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "scaler": self.scaler.state_dict(),
+            "step_count": self.step_count,
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        """Restore a snapshot from a same-architecture mesh engine."""
+        self.model.load_state_dict(sd["model"])
+        self.optimizer.load_state_dict(sd["optimizer"])
+        if "scaler" in sd:
+            self.scaler.load_state_dict(sd["scaler"])
+        self.step_count = int(sd["step_count"])
+
+    def topology(self) -> dict:
+        """The world/mesh shape a snapshot of this engine assumes."""
+        return {
+            "kind": "mesh",
+            "strategy": self.dp_strategy,
+            "world_size": self.world.size,
+            "ranks_per_node": self.world.ranks_per_node,
+            "shard_size": self.dp if self.dp_strategy == "full_shard" else None,
+            "grad_accum_steps": self.grad_accum_steps,
+            "layout": {"total": self.layout.total, "chunk": self.layout.chunk},
+            "precision": self.precision,
+            "backend": self.backend,
+            "mesh": {
+                "pp": self.pp,
+                "dp": self.dp,
+                "tp": self.tp,
+                "schedule": self.schedule,
+            },
+        }
+
+    # -- collectives -------------------------------------------------------
+
+    def _collective(self, fn, op: str = "collective", nbytes: float = 0.0, axis: str = "dp"):
+        """Issue one collective with retries; span tagged by mesh axis."""
+        bus = self.telemetry
+        if not bus.enabled:
+            return call_with_retry(fn, self.retry_policy, stats=self.comm.stats)
+        stats = self.comm.stats
+        retries0 = stats.total_retries
+        backoff0 = stats.backoff_seconds
+        try:
+            with bus.span(f"comm.{op}", bytes=float(nbytes), axis=axis):
+                return call_with_retry(fn, self.retry_policy, stats=stats)
+        finally:
+            if stats.total_retries != retries0:
+                bus.counter("comm.retries", stats.total_retries - retries0, op=op)
+                bus.counter(
+                    "comm.backoff_s", stats.backoff_seconds - backoff0, op=op
+                )
+
+    def _issue_param_allgathers(self) -> None:
+        """Materialize full parameters from dp shards (full_shard only)."""
+        if self.dp_strategy != "full_shard" or self.dp == 1:
+            return
+        for unit in self.units:
+            shards = [unit.shard_view(j) for j in range(self.dp)]
+            gathered = self._collective(
+                lambda shards=shards: self.comm.all_gather(
+                    shards, self._dp_group, wire_dtype=None
+                ),
+                op="all_gather",
+                nbytes=float(unit.flat.nbytes),
+                axis="dp",
+            )
+            np.copyto(unit.flat, gathered[0])
+
+    def _send(self, arr: np.ndarray, src: int, dst: int) -> np.ndarray:
+        """Move a stage-boundary tensor through ``SimComm.send``."""
+        arr = np.ascontiguousarray(arr)
+        bus = self.telemetry
+        if bus.enabled:
+            with bus.span("comm.send", bytes=float(arr.nbytes), axis="pp"):
+                return self.comm.send(arr, src, dst)
+        return self.comm.send(arr, src, dst)
+
+    # -- pipeline ----------------------------------------------------------
+
+    def _stage_param_lists(self) -> list[list]:
+        """Per-stage parameter ownership; must partition the model."""
+        all_params = self.model.parameters()
+        known = {id(p) for p in all_params}
+        seen: set[int] = set()
+        stages: list[list] = []
+        for start, stop in self._stage_bounds:
+            stage_params = []
+            for op in self._ops[start:stop]:
+                for p in op.params():
+                    if id(p) not in known:
+                        raise ValueError(
+                            f"pipeline op {type(op).__name__} owns a "
+                            "parameter not in model.parameters()"
+                        )
+                    if id(p) in seen:
+                        raise ValueError(
+                            f"pipeline op {type(op).__name__} claims a "
+                            "parameter another stage already owns"
+                        )
+                    seen.add(id(p))
+                    stage_params.append(p)
+            stages.append(stage_params)
+        if len(seen) != len(all_params):
+            raise ValueError(
+                "pipeline ops do not cover every model parameter "
+                f"({len(seen)} of {len(all_params)} claimed)"
+            )
+        return stages
+
+    def _run_pipeline(
+        self, micros: Sequence[Any], k: int
+    ) -> tuple[list[float], list[list[list[np.ndarray]]]]:
+        """Drive the pipeline schedule for each dp rank's microbatches.
+
+        Returns ``(losses, micro_grads)`` with losses indexed
+        ``j * dp + r`` and ``micro_grads[j][r]`` the rank's outbound
+        contribution for round ``j`` — the same shapes the round loop
+        produces, so the reduction path downstream is shared.
+        """
+        bus = self.telemetry
+        actions = schedule_actions(self.schedule, k, self.pp)
+        # Parameters are static within a step, so the full_shard
+        # materialization traffic is booked with the round loop's
+        # cadence: one gather set per round plus the backward regather.
+        for _ in range(k):
+            self._issue_param_allgathers()
+            self._issue_param_allgathers()
+        losses = [0.0] * (k * self.dp)
+        rows: list[list[list[np.ndarray] | None]] = [
+            [None] * k for _ in range(self.dp)
+        ]
+        for r in range(self.dp):
+            rank_micros = [
+                self._cast_micro(micros[j * self.dp + r]) for j in range(k)
+            ]
+            with bus.span("compute.fwd_bwd"):
+                self._run_pipeline_rank(r, rank_micros, actions, losses, rows[r])
+        micro_grads = [
+            [rows[r][j] for r in range(self.dp)] for j in range(k)
+        ]
+        return losses, micro_grads
+
+    def _run_pipeline_rank(
+        self,
+        r: int,
+        rank_micros: list,
+        actions: list,
+        losses: list[float],
+        out_row: list,
+    ) -> None:
+        """Execute the schedule for dp rank ``r``'s ``k`` microbatches."""
+        pp = self.pp
+        ops = self._ops
+        bounds = self._stage_bounds
+        ranks = self._pp_group.ranks
+        n_micro = len(rank_micros)
+        ctxs: list[dict] = [dict() for _ in range(n_micro)]
+        # inbox[s][j]: stage s's forward input for micro j (arrives via
+        # send from stage s-1, kept alive for the recompute-at-backward).
+        inbox: list[list] = [[None] * n_micro for _ in range(pp)]
+        grad_inbox: list[list] = [[None] * n_micro for _ in range(pp)]
+        partials: list[dict[int, np.ndarray]] = [dict() for _ in range(n_micro)]
+        for j, micro in enumerate(rank_micros):
+            inbox[0][j] = micro if isinstance(micro, tuple) else (micro, None)
+        self._zero_local_grads()
+        for kind, s, j in actions:
+            start, stop = bounds[s]
+            ctx = ctxs[j]
+            x = inbox[s][j]
+            for op in ops[start:stop]:
+                x = op.forward(x, ctx)
+            if kind == "fwd":
+                if s < pp - 1:
+                    inbox[s + 1][j] = self._send(x, ranks[s], ranks[s + 1])
+                else:
+                    losses[j * self.dp + r] = float(ctx["output"].loss)
+                continue
+            # Backward: the forward above was the recompute (in-flight
+            # micros clobbered the module caches since this micro's
+            # scheduled forward; deterministic via the ctx noise stash).
+            d = grad_inbox[s][j]  # None on the last stage: tail seeds it
+            for op in reversed(ops[start:stop]):
+                d = op.backward(d, ctx)
+            if s > 0:
+                grad_inbox[s - 1][j] = self._send(d, ranks[s], ranks[s - 1])
+            # Snapshot this stage's freshly accumulated gradients and
+            # zero them, so in-flight micros never mix contributions.
+            for p in self._stage_params[s]:
+                partials[j][id(p)] = p.grad.copy()
+                p.zero_grad()
+            if s == 0:
+                # Micro j fully done: reassemble its full-model gradient
+                # and collect the outbound contribution through the same
+                # path the round loop uses.
+                snap = partials[j]
+                for p in self.model.parameters():
+                    p.grad[...] = snap.pop(id(p))
+                out_row[j] = self._collect_rank_grads()
+                self._zero_local_grads()
+
+    def _book_pipeline_transfers(self, micros: Sequence[Any]) -> None:
+        """Analytic stage-boundary byte accounting (process backend).
+
+        Workers run each microbatch depth-first — numerically identical
+        to any schedule — so no activation is ever materialized on a
+        boundary. The parent books the traffic the inline schedule
+        would move: per micro, per boundary, one forward activation and
+        one backward gradient of the same size.
+        """
+        bus = self.telemetry
+        for micro in micros:
+            imgs = micro[0] if isinstance(micro, tuple) else micro
+            batch = int(imgs.shape[0])
+            itemsize = np.result_type(imgs.dtype, self._param_dtype).itemsize
+            sizes = boundary_nbytes(self._ops, self._stage_bounds, batch, itemsize)
+            for nbytes in sizes:
+                for _direction in ("fwd", "bwd"):
+                    self.comm.stats.record("send", 2, float(nbytes))
+                    if bus.enabled:
+                        with bus.span(
+                            "comm.send", bytes=float(nbytes), axis="pp"
+                        ):
+                            pass
+
+    # -- the step ----------------------------------------------------------
+
+    def _reduce_gradients(
+        self, micro_grads: list[list[list[np.ndarray]]]
+    ) -> list[list[np.ndarray]] | np.ndarray:
+        """Reduce all rounds' contributions over the dp group at once."""
+        k = len(micro_grads)
+        group = self._dp_group
+        if self.dp_strategy == "full_shard":
+            reduced = []
+            for u in range(len(self.units)):
+                bufs = [
+                    micro_grads[j][r][u]
+                    for j in range(k)
+                    for r in range(self.dp)
+                ]
+                reduced.append(
+                    self._collective(
+                        lambda bufs=bufs: self.comm.reduce_scatter(
+                            bufs,
+                            group,
+                            op="mean",
+                            parts_per_rank=k,
+                            wire_dtype=self._wire_dtype,
+                        ),
+                        op="reduce_scatter",
+                        nbytes=self._wire_nbytes(bufs[0].nbytes),
+                        axis="dp",
+                    )
+                )
+            return reduced
+        # ddp: one concatenated full-model contribution per (round, rank),
+        # stacked-mean in micro order j * dp + r — elementwise, so it is
+        # bit-identical to the oracle's bucketed reduction of the same
+        # contributions (concatenation commutes with a stacked mean).
+        n_items = len(self.params)
+        per_contrib = [
+            np.concatenate(
+                [micro_grads[j][r][i].reshape(-1) for i in range(n_items)]
+            )
+            for j in range(k)
+            for r in range(self.dp)
+        ]
+        return self._collective(
+            lambda: self.comm.all_reduce(
+                per_contrib,
+                group,
+                op="mean",
+                parts_per_rank=k,
+                wire_dtype=self._wire_dtype,
+            ),
+            op="all_reduce",
+            nbytes=self._wire_nbytes(per_contrib[0].nbytes),
+            axis="dp",
+        )[0]
+
+    def train_step(self, micros: Sequence[Any], step_fn: StepFn) -> float:
+        """One optimizer step over ``grad_accum_steps * dp`` microbatches.
+
+        Micro ``(round j, dp-rank r)`` sits at index ``j * dp + r``. In
+        fp32 the result is bit-identical to the world-1 DDP oracle
+        consuming the same micros with ``grad_accum_steps * dp``
+        accumulation rounds, for every mesh shape and schedule (tested).
+        """
+        self._check_micros(micros)
+        k = self.grad_accum_steps
+        bus = self.telemetry
+        bus.set_step(self.step_count)
+        self._emit_precision_gauges()
+        losses: list[float] = []
+        micro_grads: list[list[list[np.ndarray]]] = []
+        pipeline_inline = self.pp > 1 and self._backend.name == "inline"
+        try:
+            if pipeline_inline:
+                losses, micro_grads = self._run_pipeline(micros, k)
+            else:
+                for j in range(k):
+                    self._issue_param_allgathers()
+                    with bus.span("compute.fwd_bwd"):
+                        cast = [
+                            self._cast_micro(micros[j * self.dp + r])
+                            for r in range(self.dp)
+                        ]
+                        round_losses, per_rank = self._backend.run_round(
+                            j, cast, step_fn
+                        )
+                        losses.extend(round_losses)
+                        micro_grads.append(per_rank)
+                    # FULL_SHARD-style backward regather (no-op for ddp).
+                    self._issue_param_allgathers()
+                if self.pp > 1:
+                    self._book_pipeline_transfers(micros)
+        except Exception:
+            self.model.release_caches()
+            raise
+
+        try:
+            reduced = self._reduce_gradients(micro_grads)
+        except CollectiveError:
+            self.model.release_caches()
+            raise
+
+        if self.dp_strategy == "full_shard":
+            flat = [g for unit in reduced for g in unit]
+            apply_update = self._grad_postprocess(flat)
+            for u, shards in enumerate(self._shards):
+                for s, shard in enumerate(shards):
+                    shard.grad[...] = reduced[u][s]
+        else:
+            apply_update = self._grad_postprocess([reduced])
+            offset = 0
+            for p in self.params:
+                n = p.grad.size
+                p.grad[...] = reduced[offset : offset + n].reshape(p.grad.shape)
+                offset += n
+        if apply_update:
+            with bus.span("optim.step"):
+                self.optimizer.step()
+        self.step_count += 1
+        return float(np.mean(losses))

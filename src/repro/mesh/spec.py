@@ -1,0 +1,76 @@
+"""Mesh shape specification: the ``EngineConfig(mesh=...)`` value.
+
+A :class:`MeshSpec` names the three parallelism axes the engine layer
+composes — pipeline (``pp``), data (``dp``), tensor (``tp``) — plus the
+pipeline schedule. It is a pure-literal frozen dataclass (stdlib only)
+so :mod:`repro.core.engine` can import it without touching the rest of
+:mod:`repro.mesh`, keeping the config layer a dependency leaf.
+
+The axis order ``("pp", "dp", "tp")`` is also the rank-major order of
+the realized :class:`~repro.mesh.device_mesh.DeviceMesh`: tp ranks are
+adjacent (they exchange activations every layer), dp ranks stride over
+tp blocks, and pp stages stride over whole (dp x tp) planes — the same
+innermost-to-outermost bandwidth ordering megatron-style launchers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MeshSpec", "MESH_AXIS_NAMES", "PIPELINE_SCHEDULES"]
+
+#: Canonical axis order for engine meshes (outermost to innermost).
+MESH_AXIS_NAMES = ("pp", "dp", "tp")
+
+#: Supported pipeline schedules (only meaningful when ``pp > 1``).
+PIPELINE_SCHEDULES = ("gpipe", "1f1b")
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Requested mesh shape for :func:`repro.core.engine.make_engine`.
+
+    Parameters
+    ----------
+    pp:
+        Pipeline stages (layer-partitioned).
+    dp:
+        Data-parallel replicas (where gradients are reduced).
+    tp:
+        Tensor-parallel ways (attention/MLP GEMM sharding).
+    schedule:
+        Pipeline schedule, ``"gpipe"`` or ``"1f1b"``; ignored when
+        ``pp == 1``.
+    """
+
+    pp: int = 1
+    dp: int = 1
+    tp: int = 1
+    schedule: str = "gpipe"
+
+    def __post_init__(self) -> None:
+        for name in MESH_AXIS_NAMES:
+            v = getattr(self, name)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                raise ValueError(
+                    f"mesh axis {name} must be an int >= 1, got {v!r}"
+                )
+        if self.schedule not in PIPELINE_SCHEDULES:
+            raise ValueError(
+                f"unknown pipeline schedule {self.schedule!r}; "
+                f"expected one of {PIPELINE_SCHEDULES}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Axis sizes in canonical ``("pp", "dp", "tp")`` order."""
+        return (self.pp, self.dp, self.tp)
+
+    @property
+    def size(self) -> int:
+        """Total ranks the mesh occupies (``pp * dp * tp``)."""
+        return self.pp * self.dp * self.tp
+
+    def describe(self) -> str:
+        """Human-readable form used in error messages and topology dicts."""
+        return f"(pp={self.pp}, dp={self.dp}, tp={self.tp}, schedule={self.schedule})"

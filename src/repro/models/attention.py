@@ -55,8 +55,10 @@ class MultiHeadSelfAttention(Module):
         self.scale = 1.0 / np.sqrt(self.head_dim)
         self.fused = fused
         rng = rng if rng is not None else np.random.default_rng(0)
-        self.qkv = Linear(width, 3 * width, rng=rng, dtype=dtype)
-        self.proj = Linear(width, width, rng=rng, dtype=dtype)
+        # tp_shard: qkv is the column-parallel half of the megatron pair
+        # (per-head column blocks), proj the row-parallel half.
+        self.qkv = Linear(width, 3 * width, rng=rng, dtype=dtype, tp_shard=True)
+        self.proj = Linear(width, width, rng=rng, dtype=dtype, tp_shard=True)
         self._cache = None
 
     # -- head reshaping (naive path only; the fused path uses views) -------

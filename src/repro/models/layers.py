@@ -32,6 +32,13 @@ class Linear(Module):
     Weight layout is ``(in_features, out_features)`` so the forward matmul
     runs on contiguous operands without transposition (cache-friendly per
     the optimization guides).
+
+    Tensor parallelism: layers constructed with ``tp_shard=True`` (the
+    attention qkv/proj and MLP fc1/fc2 GEMMs) route their forward output
+    and backward input-gradient through the attached
+    :class:`~repro.mesh.tp.TPContext`'s load-bearing column-shard
+    all-gather (see :mod:`repro.mesh.tp`); dW/db stay sharded by
+    construction on the tp axis, so no gradient collective is needed.
     """
 
     def __init__(
@@ -41,10 +48,12 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
         bias: bool = True,
         dtype=DEFAULT_DTYPE,
+        tp_shard: bool = False,
     ):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
+        self.tp_shard = tp_shard
         rng = rng if rng is not None else np.random.default_rng(0)
         self.weight = Parameter(
             init.xavier_uniform(rng, in_features, out_features, dtype=dtype)
@@ -69,7 +78,13 @@ class Linear(Module):
         self._lead = x.shape[:-1]
         res_dtype = np.result_type(x.dtype, self.weight.data.dtype)
         y = self._buf("y", x.shape[:-1] + (self.out_features,), res_dtype)
-        self._matmul(x2, self.weight.data, y.reshape(-1, self.out_features))
+        y2 = y.reshape(-1, self.out_features)
+        self._matmul(x2, self.weight.data, y2)
+        ctx = self._tp_ctx
+        if ctx is not None and self.tp_shard:
+            # Column-parallel output: each tp rank owns a column block;
+            # the gather reassembles the full activation bit-exactly.
+            ctx.reassemble(y2)
         if self.has_bias:
             y += self.bias.data
         return y
@@ -90,7 +105,13 @@ class Linear(Module):
         dx = self._buf(
             "dx", self._lead + (self.in_features,), np.result_type(d2, x2)
         )
-        self._matmul(d2, self.weight.data.T, dx.reshape(-1, self.in_features))
+        dx2 = dx.reshape(-1, self.in_features)
+        self._matmul(d2, self.weight.data.T, dx2)
+        ctx = self._tp_ctx
+        if ctx is not None and self.tp_shard:
+            # Row-parallel backward: each tp rank contributes a column
+            # block of dx; the gather mirrors the forward reassembly.
+            ctx.reassemble(dx2)
         self._x2 = None
         self._lead = None
         return dx
@@ -223,9 +244,9 @@ class MLP(Module):
     ):
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
-        self.fc1 = Linear(width, hidden, rng=rng, dtype=dtype)
+        self.fc1 = Linear(width, hidden, rng=rng, dtype=dtype, tp_shard=True)
         self.act = GELU()
-        self.fc2 = Linear(hidden, width, rng=rng, dtype=dtype)
+        self.fc2 = Linear(hidden, width, rng=rng, dtype=dtype, tp_shard=True)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """fc2(gelu(fc1(x)))."""

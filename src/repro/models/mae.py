@@ -14,6 +14,16 @@ Mirrors the official MAE implementation the paper builds on:
 The masking noise is an explicit input so the distributed engines can
 make masking a function of the *global sample index*: sharded and
 unsharded training then produce bit-identical losses (tested).
+
+Pipeline decomposition: the forward pass is expressed as a sequence of
+*ops* — ``[head] + enc_blocks + [bridge] + dec_blocks + [tail]`` — and
+``forward``/``backward`` simply run that sequence forward/reversed.
+The ops are the single source of truth, so a layer-partitioned pipeline
+engine (:mod:`repro.mesh.pipeline`) running contiguous op chunks as
+stages is bit-identical to the monolithic pass *by construction*.
+Per-microbatch state (masking indices, patch targets, the loss
+residual) lives in an explicit ``ctx`` dict threaded through the ops,
+never in module attributes, so multiple microbatches can be in flight.
 """
 
 from __future__ import annotations
@@ -40,6 +50,194 @@ class MAEOutput:
     loss: float
     pred: np.ndarray  # (B, N, patch_dim) reconstruction in patch space
     mask: np.ndarray  # (B, N) 1 where the patch was masked
+
+
+class _HeadOp:
+    """Patchify, embed, mask, prepend cls: ``(imgs, noise) -> (B, 1+Lv, W)``."""
+
+    kind = "head"
+
+    def __init__(self, model: "MaskedAutoencoder"):
+        self.m = model
+
+    def forward(self, x, ctx: dict):
+        imgs, noise = x
+        m = self.m
+        enc = m.cfg.encoder
+        b = imgs.shape[0]
+        if noise is None:
+            # Reuse the noise a previous forward of this micro drew (the
+            # pipeline engine recomputes stage forwards before backward);
+            # only draw fresh noise on the first pass.
+            noise = ctx.get("noise")
+        if noise is None:
+            noise = m.rng.random((b, enc.n_patches))
+        ctx["noise"] = noise
+        ids_keep, ids_shuffle, ids_restore, mask = m.random_masking_indices(noise)
+
+        patches = patchify(imgs, enc.patch)  # (B, N, D)
+        tok = m.patch_proj(patches) + m.enc_pos[None, 1:, :]
+        x_vis = np.take_along_axis(tok, ids_keep[:, :, None], axis=1)
+
+        cls = np.broadcast_to(
+            m.cls_token.data + m.enc_pos[None, :1, :], (b, 1, enc.width)
+        )
+        ctx.update(
+            b=b,
+            ids_keep=ids_keep,
+            ids_shuffle=ids_shuffle,
+            ids_restore=ids_restore,
+            mask=mask,
+            patches=patches,
+            tok_shape=tok.shape,
+            n_vis=m.cfg.n_visible,
+        )
+        return np.concatenate([cls, x_vis], axis=1)  # (B, 1+Lv, W)
+
+    def backward(self, d, ctx: dict):
+        m = self.m
+        enc = m.cfg.encoder
+        dcls = d[:, :1, :]
+        m.cls_token.accumulate(dcls.sum(axis=0, keepdims=True))
+        dvis = d[:, 1:, :]
+        dtok = np.zeros(ctx["tok_shape"], dtype=dvis.dtype)
+        np.put_along_axis(dtok, ctx["ids_keep"][:, :, None], dvis, axis=1)
+        dpatches = m.patch_proj.backward(dtok)
+        return unpatchify(dpatches, enc.patch, enc.in_chans)
+
+    def out_shape(self, batch: int) -> tuple[int, ...]:
+        enc = self.m.cfg.encoder
+        return (batch, 1 + self.m.cfg.n_visible, enc.width)
+
+    def params(self) -> list[Parameter]:
+        return self.m.patch_proj.parameters() + [self.m.cls_token]
+
+
+class _BlockOp:
+    """One transformer block (encoder or decoder)."""
+
+    def __init__(self, model: "MaskedAutoencoder", blk, kind: str):
+        self.m = model
+        self.blk = blk
+        self.kind = kind
+
+    def forward(self, x, ctx: dict):
+        return self.blk(x)
+
+    def backward(self, d, ctx: dict):
+        return self.blk.backward(d)
+
+    def out_shape(self, batch: int) -> tuple[int, ...]:
+        m = self.m
+        if self.kind == "enc":
+            return (batch, 1 + m.cfg.n_visible, m.cfg.encoder.width)
+        return (batch, 1 + m.cfg.encoder.n_patches, m.cfg.dec_width)
+
+    def params(self) -> list[Parameter]:
+        return self.blk.parameters()
+
+
+class _BridgeOp:
+    """Encoder norm, decoder embed, mask-token fill, un-shuffle, dec pos."""
+
+    kind = "bridge"
+
+    def __init__(self, model: "MaskedAutoencoder"):
+        self.m = model
+
+    def forward(self, x, ctx: dict):
+        m = self.m
+        b = ctx["b"]
+        x = m.enc_norm(x)
+        y = m.dec_embed(x)  # (B, 1+Lv, Wd)
+        n_masked = m.cfg.n_masked
+        mask_tokens = np.broadcast_to(
+            m.mask_token.data, (b, n_masked, m.cfg.dec_width)
+        )
+        y_shuffled = np.concatenate([y[:, 1:, :], mask_tokens], axis=1)  # (B, N, Wd)
+        y_unshuf = np.take_along_axis(
+            y_shuffled, ctx["ids_restore"][:, :, None], axis=1
+        )
+        return np.concatenate([y[:, :1, :], y_unshuf], axis=1) + m.dec_pos[None]
+
+    def backward(self, d, ctx: dict):
+        m = self.m
+        # dec_pos is a constant buffer: no gradient.
+        dcls_dec = d[:, :1, :]
+        dy_unshuf = d[:, 1:, :]
+        # Inverse of the gather-with-ids_restore is gather-with-ids_shuffle.
+        dy_shuffled = np.take_along_axis(
+            dy_unshuf, ctx["ids_shuffle"][:, :, None], axis=1
+        )
+        n_vis = ctx["n_vis"]
+        dy_vis = dy_shuffled[:, :n_vis, :]
+        dmask_tok = dy_shuffled[:, n_vis:, :]
+        m.mask_token.accumulate(dmask_tok.sum(axis=(0, 1))[None, None, :])
+        dy_enc_out = np.concatenate([dcls_dec, dy_vis], axis=1)
+        dx = m.dec_embed.backward(dy_enc_out)
+        return m.enc_norm.backward(dx)
+
+    def out_shape(self, batch: int) -> tuple[int, ...]:
+        m = self.m
+        return (batch, 1 + m.cfg.encoder.n_patches, m.cfg.dec_width)
+
+    def params(self) -> list[Parameter]:
+        m = self.m
+        return (
+            m.enc_norm.parameters()
+            + m.dec_embed.parameters()
+            + [m.mask_token]
+        )
+
+
+class _TailOp:
+    """Decoder norm, pixel prediction, masked per-patch-normalized MSE."""
+
+    kind = "tail"
+
+    def __init__(self, model: "MaskedAutoencoder"):
+        self.m = model
+
+    def forward(self, x, ctx: dict):
+        m = self.m
+        y_full = m.dec_norm(x)
+        pred = m.pred(y_full[:, 1:, :])  # (B, N, D)
+
+        # Reconstruction target, optionally per-patch normalized.
+        target = ctx["patches"]
+        if m.cfg.norm_pix_loss:
+            mu = target.mean(axis=-1, keepdims=True)
+            var = target.var(axis=-1, keepdims=True)
+            target = (target - mu) / np.sqrt(var + 1e-6)
+
+        mask = ctx["mask"]
+        diff = pred - target
+        per_patch = (diff * diff).mean(axis=-1)  # (B, N)
+        mask_sum = mask.sum()
+        loss = float((per_patch * mask).sum() / mask_sum)
+        ctx["diff"] = diff
+        ctx["mask_sum"] = mask_sum
+        out = MAEOutput(loss=loss, pred=pred, mask=mask)
+        ctx["output"] = out
+        return out
+
+    def backward(self, d, ctx: dict):
+        # ``d`` is ignored: this op owns the loss, so backward seeds it.
+        m = self.m
+        d_patch = m.cfg.encoder.patch_dim
+        dpred = (2.0 / d_patch) * ctx["diff"] * ctx["mask"][:, :, None] / ctx["mask_sum"]
+        dy_tail = m.pred.backward(dpred)  # (B, N, Wd)
+        dy_full = np.concatenate(
+            [np.zeros((ctx["b"], 1, m.cfg.dec_width), dtype=dy_tail.dtype), dy_tail],
+            axis=1,
+        )
+        return m.dec_norm.backward(dy_full)
+
+    def out_shape(self, batch: int) -> None:
+        return None  # the loss: nothing crosses a stage boundary after this
+
+    def params(self) -> list[Parameter]:
+        return self.m.dec_norm.parameters() + self.m.pred.parameters()
 
 
 class MaskedAutoencoder(Module):
@@ -92,7 +290,24 @@ class MaskedAutoencoder(Module):
         self.dec_norm = LayerNorm(cfg.dec_width, dtype=dtype)
         self.pred = Linear(cfg.dec_width, enc.patch_dim, rng=rng, dtype=dtype)
 
+        # The pipeline op sequence (single source of truth for fwd/bwd).
+        self._ops = (
+            [_HeadOp(self)]
+            + [_BlockOp(self, blk, "enc") for blk in self.enc_blocks]
+            + [_BridgeOp(self)]
+            + [_BlockOp(self, blk, "dec") for blk in self.dec_blocks]
+            + [_TailOp(self)]
+        )
+
         self._cache = None
+
+    def pipeline_ops(self) -> list:
+        """The forward pass as an op sequence (see module docstring).
+
+        A pipeline engine partitions this list into contiguous stages;
+        running the full list in order is exactly :meth:`forward`.
+        """
+        return self._ops
 
     # -- masking -----------------------------------------------------------
 
@@ -121,106 +336,33 @@ class MaskedAutoencoder(Module):
     # -- forward -----------------------------------------------------------
 
     def forward(self, imgs: np.ndarray, noise: np.ndarray | None = None) -> MAEOutput:
-        """Masked-autoencoder forward: mask, encode visibles, decode, per-patch-normalized MSE on masked patches."""
-        enc = self.cfg.encoder
-        b = imgs.shape[0]
-        if noise is None:
-            noise = self.rng.random((b, enc.n_patches))
-        ids_keep, ids_shuffle, ids_restore, mask = self.random_masking_indices(noise)
-        n_vis = self.cfg.n_visible
+        """Masked-autoencoder forward: mask, encode visibles, decode, per-patch-normalized MSE on masked patches.
 
-        patches = patchify(imgs, enc.patch)  # (B, N, D)
-        tok = self.patch_proj(patches) + self.enc_pos[None, 1:, :]
-        x_vis = np.take_along_axis(tok, ids_keep[:, :, None], axis=1)
-
-        cls = np.broadcast_to(
-            self.cls_token.data + self.enc_pos[None, :1, :], (b, 1, enc.width)
-        )
-        x = np.concatenate([cls, x_vis], axis=1)  # (B, 1+Lv, W)
-        for blk in self.enc_blocks:
-            x = blk(x)
-        x = self.enc_norm(x)
-
-        y = self.dec_embed(x)  # (B, 1+Lv, Wd)
-        n_masked = self.cfg.n_masked
-        mask_tokens = np.broadcast_to(
-            self.mask_token.data, (b, n_masked, self.cfg.dec_width)
-        )
-        y_shuffled = np.concatenate([y[:, 1:, :], mask_tokens], axis=1)  # (B, N, Wd)
-        y_unshuf = np.take_along_axis(y_shuffled, ids_restore[:, :, None], axis=1)
-        y_full = np.concatenate([y[:, :1, :], y_unshuf], axis=1) + self.dec_pos[None]
-        for blk in self.dec_blocks:
-            y_full = blk(y_full)
-        y_full = self.dec_norm(y_full)
-        pred = self.pred(y_full[:, 1:, :])  # (B, N, D)
-
-        # Reconstruction target, optionally per-patch normalized.
-        target = patches
-        if self.cfg.norm_pix_loss:
-            mu = target.mean(axis=-1, keepdims=True)
-            var = target.var(axis=-1, keepdims=True)
-            target = (target - mu) / np.sqrt(var + 1e-6)
-
-        diff = pred - target
-        per_patch = (diff * diff).mean(axis=-1)  # (B, N)
-        mask_sum = mask.sum()
-        loss = float((per_patch * mask).sum() / mask_sum)
-
-        self._cache = (
-            b,
-            ids_keep,
-            ids_shuffle,
-            mask,
-            diff,
-            mask_sum,
-            n_vis,
-            tok.shape,
-        )
-        return MAEOutput(loss=loss, pred=pred, mask=mask)
+        Runs the pipeline op sequence in order with one shared per-call
+        ``ctx``; the tail op returns the :class:`MAEOutput`.
+        """
+        ctx: dict = {}
+        x = (imgs, noise)
+        for op in self._ops:
+            x = op.forward(x, ctx)
+        self._cache = ctx
+        return x
 
     # -- backward ----------------------------------------------------------
 
     def backward(self) -> np.ndarray:
-        """Backprop d(loss)/d(everything); returns d(loss)/d(imgs)."""
+        """Backprop d(loss)/d(everything); returns d(loss)/d(imgs).
+
+        Runs the pipeline op sequence reversed (the tail op seeds the
+        loss gradient).
+        """
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        (b, ids_keep, ids_shuffle, mask, diff, mask_sum, n_vis, tok_shape) = self._cache
-        self._cache = None
-        enc = self.cfg.encoder
-        d_patch = enc.patch_dim
-
-        dpred = (2.0 / d_patch) * diff * mask[:, :, None] / mask_sum
-        dy_tail = self.pred.backward(dpred)  # (B, N, Wd)
-        dy_full = np.concatenate(
-            [np.zeros((b, 1, self.cfg.dec_width), dtype=dy_tail.dtype), dy_tail],
-            axis=1,
-        )
-        dy_full = self.dec_norm.backward(dy_full)
-        for blk in reversed(self.dec_blocks):
-            dy_full = blk.backward(dy_full)
-        # dec_pos is a constant buffer: no gradient.
-        dcls_dec = dy_full[:, :1, :]
-        dy_unshuf = dy_full[:, 1:, :]
-        # Inverse of the gather-with-ids_restore is gather-with-ids_shuffle.
-        dy_shuffled = np.take_along_axis(dy_unshuf, ids_shuffle[:, :, None], axis=1)
-        dy_vis = dy_shuffled[:, :n_vis, :]
-        dmask_tok = dy_shuffled[:, n_vis:, :]
-        self.mask_token.accumulate(
-            dmask_tok.sum(axis=(0, 1))[None, None, :]
-        )
-        dy_enc_out = np.concatenate([dcls_dec, dy_vis], axis=1)
-        dx = self.dec_embed.backward(dy_enc_out)
-
-        dx = self.enc_norm.backward(dx)
-        for blk in reversed(self.enc_blocks):
-            dx = blk.backward(dx)
-        dcls = dx[:, :1, :]
-        self.cls_token.accumulate(dcls.sum(axis=0, keepdims=True))
-        dvis = dx[:, 1:, :]
-        dtok = np.zeros(tok_shape, dtype=dvis.dtype)
-        np.put_along_axis(dtok, ids_keep[:, :, None], dvis, axis=1)
-        dpatches = self.patch_proj.backward(dtok)
-        return unpatchify(dpatches, enc.patch, enc.in_chans)
+        ctx, self._cache = self._cache, None
+        d = None
+        for op in reversed(self._ops):
+            d = op.backward(d, ctx)
+        return d
 
     def _clear_cache(self) -> None:
         self._cache = None

@@ -80,6 +80,7 @@ class Module:
         object.__setattr__(self, "training", True)
         object.__setattr__(self, "_workspace", None)
         object.__setattr__(self, "_gemm_pool", None)
+        object.__setattr__(self, "_tp_ctx", None)
 
     def __setattr__(self, name: str, value) -> None:
         if isinstance(value, Parameter):
@@ -181,6 +182,27 @@ class Module:
         if ws is None:
             return np.empty(shape, dtype=dtype)
         return ws.request((id(self), tag), shape, np.dtype(dtype))
+
+    # -- tensor parallelism --------------------------------------------------
+
+    def use_tensor_parallel(self, ctx) -> "Module":
+        """Attach (or detach, with ``None``) a tensor-parallel context.
+
+        Propagates recursively, like :meth:`use_workspace`. Layers
+        flagged ``tp_shard = True`` route their flagged GEMM outputs
+        (and input gradients) through the
+        :class:`~repro.mesh.tp.TPContext`'s load-bearing all-gather;
+        with no context attached (the default) the numerics are
+        untouched. Returns self.
+        """
+        for m in self.modules():
+            object.__setattr__(m, "_tp_ctx", ctx)
+        return self
+
+    @property
+    def tensor_parallel(self):
+        """The attached :class:`~repro.mesh.tp.TPContext`, or ``None``."""
+        return self._tp_ctx
 
     # -- intra-op threading --------------------------------------------------
 

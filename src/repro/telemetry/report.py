@@ -77,13 +77,15 @@ class GaugeAgg:
 class RunReport:
     """Run-level aggregate of one telemetry event stream.
 
-    Spans are grouped by name (durations and ``bytes`` attrs summed),
+    Spans are grouped by name (durations and ``bytes`` attrs summed) —
+    and, when tagged with a mesh ``axis`` attr, a second time by axis —
     counters are summed, gauges keep count/mean/last/min/max. The
     derived properties map one-to-one onto the paper's reported
     quantities — see DESIGN.md's observability section.
     """
 
     spans: dict[str, SpanAgg] = field(default_factory=dict)
+    axis_spans: dict[str, SpanAgg] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, GaugeAgg] = field(default_factory=dict)
     n_events: int = 0
@@ -96,6 +98,14 @@ class RunReport:
             report.n_events += 1
             if e.kind == "span":
                 report.spans.setdefault(e.name, SpanAgg(e.name)).add(e)
+                # Mesh engines tag collective spans with their mesh axis
+                # (tp/pp/dp); fold a second grouping so the crossover
+                # tables can report traffic per parallelism axis.
+                axis = e.attrs.get("axis")
+                if axis is not None:
+                    report.axis_spans.setdefault(
+                        str(axis), SpanAgg(str(axis))
+                    ).add(e)
             elif e.kind == "counter":
                 report.counters[e.name] = report.counters.get(e.name, 0.0) + e.value
             elif e.kind == "gauge":
@@ -118,6 +128,16 @@ class RunReport:
     def span_bytes(self, prefix: str = "comm.") -> float:
         """Total ``bytes`` attr across span names starting with ``prefix``."""
         return sum(a.bytes for n, a in self.spans.items() if n.startswith(prefix))
+
+    def axis_bytes(self, axis: str) -> float:
+        """Wire bytes moved on one mesh axis (``"tp"``/``"pp"``/``"dp"``)."""
+        agg = self.axis_spans.get(axis)
+        return agg.bytes if agg is not None else 0.0
+
+    def axis_calls(self, axis: str) -> int:
+        """Collective invocations tagged with one mesh axis."""
+        agg = self.axis_spans.get(axis)
+        return agg.count if agg is not None else 0
 
     @property
     def comm_seconds(self) -> float:

@@ -1,14 +1,13 @@
-"""make_engine / EngineConfig: dispatch, equivalence, deprecation shims.
+"""make_engine / EngineConfig: dispatch, equivalence, removed kwargs.
 
 The unified construction path must be a pure re-plumbing: an engine
 built by the factory trains bit-identically to one built by direct
-constructor calls, for DDP and all four FSDP strategies; legacy kwargs
-keep working behind one-shot DeprecationWarnings.
+constructor calls, for DDP and all four FSDP strategies. The
+pre-EngineConfig legacy kwargs finished their deprecation cycle and now
+raise TypeError with the migration spelled out.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 import pytest
@@ -16,12 +15,7 @@ import pytest
 from repro.comm.faults import RetryPolicy
 from repro.comm.world import World
 from repro.core.ddp import DDPEngine
-from repro.core.engine import (
-    STRATEGY_CHOICES,
-    EngineConfig,
-    make_engine,
-    reset_deprecation_warnings,
-)
+from repro.core.engine import STRATEGY_CHOICES, EngineConfig, make_engine
 from repro.core.fsdp import FSDPEngine
 from repro.core.sharding import BackwardPrefetch, ShardingStrategy
 from repro.core.trainer import MAEPretrainer
@@ -145,46 +139,22 @@ def test_engines_default_to_the_shared_null_bus():
     assert not eng.telemetry.enabled
 
 
-def test_ddp_legacy_kwargs_warn_once_and_convert():
-    reset_deprecation_warnings()
+def test_ddp_removed_kwargs_raise_with_migration_hint():
     world = World(2, ranks_per_node=2)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        eng = DDPEngine(_tiny_model(), world, bucket_cap_mb=1, retries=5)
-        deprecations = [w for w in caught if w.category is DeprecationWarning]
-    assert len(deprecations) == 2
-    assert eng.config.bucket_cap_bytes == 1024 * 1024
-    assert eng.retry_policy.max_retries == 5
-    # Second construction with the same legacy kwarg: silent (one-shot).
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        DDPEngine(_tiny_model(), world, bucket_cap_mb=2)
-        deprecations = [w for w in caught if w.category is DeprecationWarning]
-    assert not deprecations
-    reset_deprecation_warnings()
+    with pytest.raises(TypeError, match=r"bucket_cap_mb.*removed.*bucket_cap_bytes"):
+        DDPEngine(_tiny_model(), world, bucket_cap_mb=1)
+    with pytest.raises(TypeError, match=r"retries.*removed.*retry_policy"):
+        DDPEngine(_tiny_model(), world, retries=5)
 
 
-def test_fsdp_legacy_kwargs_warn_once_and_route():
-    reset_deprecation_warnings()
+def test_fsdp_removed_kwargs_raise_with_migration_hint():
     world = World(2, ranks_per_node=2)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        eng = FSDPEngine(
-            _tiny_model(),
-            world,
-            sharding_strategy=ShardingStrategy.SHARD_GRAD_OP,
-            prefetch=BackwardPrefetch.NONE,
+    with pytest.raises(TypeError, match=r"sharding_strategy.*removed.*strategy"):
+        FSDPEngine(
+            _tiny_model(), world, sharding_strategy=ShardingStrategy.SHARD_GRAD_OP
         )
-        deprecations = [w for w in caught if w.category is DeprecationWarning]
-    assert len(deprecations) == 2
-    assert eng.strategy is ShardingStrategy.SHARD_GRAD_OP
-    assert eng.backward_prefetch is BackwardPrefetch.NONE
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        FSDPEngine(_tiny_model(), world, sharding_strategy=ShardingStrategy.NO_SHARD)
-        deprecations = [w for w in caught if w.category is DeprecationWarning]
-    assert not deprecations
-    reset_deprecation_warnings()
+    with pytest.raises(TypeError, match=r"prefetch.*removed.*backward_prefetch"):
+        FSDPEngine(_tiny_model(), world, prefetch=BackwardPrefetch.NONE)
 
 
 def test_unknown_kwargs_still_raise_type_error():

@@ -1,0 +1,1 @@
+"""Suites for repro.mesh: DeviceMesh, TP/PP composition, MeshEngine."""

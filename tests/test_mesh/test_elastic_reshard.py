@@ -1,0 +1,103 @@
+"""Mesh snapshots reshard across topologies and continue bit-exact.
+
+A mesh engine's optimizer mirrors its dp strategy (flat fsdp shards
+under full_shard, per-parameter slots under ddp), so its snapshots ride
+the existing canonical reshard mappings. These tests cross the
+mesh/plain boundary in both directions and then train one more step on
+identical micros to prove the trajectory continued, not just loaded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.world import World
+from repro.core.engine import EngineConfig, make_engine
+from repro.elastic.reshard import TopologySpec, reshard_engine_state
+from repro.mesh.spec import MeshSpec
+
+from .helpers import assert_states_equal, build_model, mae_step, mesh_engine, tiny_micros
+
+
+def _topo(engine) -> TopologySpec:
+    return TopologySpec.from_dict(engine.topology())
+
+
+def _continue_identically(src_engine, dst_engine) -> None:
+    """Reshard src's state into dst, step both on the same micros, compare."""
+    sd = reshard_engine_state(
+        src_engine.state_dict(),
+        dst_engine.model,
+        _topo(src_engine),
+        _topo(dst_engine),
+    )
+    dst_engine.load_state_dict(sd)
+    assert dst_engine.step_count == src_engine.step_count
+    micros = tiny_micros(2, seed=99)
+    loss_src = src_engine.train_step(list(micros), mae_step)
+    loss_dst = dst_engine.train_step(list(micros), mae_step)
+    assert loss_src == loss_dst
+    assert_states_equal(
+        dict(src_engine.model.state_dict()), dict(dst_engine.model.state_dict())
+    )
+
+
+def test_mesh_full_shard_snapshot_reshards_onto_plain_ddp():
+    mesh = mesh_engine(MeshSpec(dp=2), "full_shard")
+    # Different weight seed: only the resharded snapshot can align them.
+    plain = make_engine(build_model(seed=21), "ddp", world=World(2))
+    try:
+        mesh.train_step(tiny_micros(2, seed=50), mae_step)
+        _continue_identically(mesh, plain)
+    finally:
+        mesh.close()
+        plain.close()
+
+
+def test_plain_fsdp_snapshot_reshards_onto_a_mesh():
+    plain = make_engine(build_model(seed=7), "full_shard", world=World(2))
+    mesh = mesh_engine(MeshSpec(pp=2, dp=2, tp=2), "ddp", seed=21)
+    try:
+        plain.train_step(tiny_micros(2, seed=50), mae_step)
+        _continue_identically(plain, mesh)
+    finally:
+        plain.close()
+        mesh.close()
+
+
+def test_mesh_to_mesh_reshard_across_dp_strategies():
+    a = mesh_engine(MeshSpec(pp=2, dp=2), "ddp", seed=7)
+    b = mesh_engine(MeshSpec(dp=2, tp=2), "full_shard", seed=21)
+    try:
+        a.train_step(tiny_micros(2, seed=50), mae_step)
+        _continue_identically(a, b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_same_mesh_shape_skips_the_reshard():
+    eng = mesh_engine(MeshSpec(dp=2), "full_shard")
+    try:
+        eng.train_step(tiny_micros(2, seed=50), mae_step)
+        sd = eng.state_dict()
+        out = reshard_engine_state(sd, eng.model, _topo(eng), _topo(eng))
+        assert out is sd
+    finally:
+        eng.close()
+
+
+def test_mesh_reshard_refuses_layout_changes():
+    from repro.elastic.errors import ElasticCompatibilityError
+
+    a = mesh_engine(MeshSpec(dp=2), "ddp")  # layout (2, 2)
+    b = make_engine(
+        build_model(), "ddp", world=World(2),
+        config=EngineConfig(grad_accum_steps=2),  # layout (4, 4)
+    )
+    try:
+        with pytest.raises(ElasticCompatibilityError, match="cannot reshard"):
+            reshard_engine_state(a.state_dict(), b.model, _topo(a), _topo(b))
+    finally:
+        a.close()
+        b.close()

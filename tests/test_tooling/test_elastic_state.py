@@ -32,12 +32,14 @@ def _planted_tree(tmp_path: Path) -> Path:
     root = tmp_path / "repro"
     (root / "core").mkdir(parents=True)
     (root / "elastic").mkdir()
+    (root / "mesh").mkdir()
     for rel in (
         "core/ddp.py",
         "core/fsdp.py",
         "core/trainer.py",
         "core/simclr_trainer.py",
         "elastic/reshard.py",
+        "mesh/engine.py",
     ):
         shutil.copy(SRC / rel, root / rel)
     return root

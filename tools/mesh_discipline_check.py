@@ -1,0 +1,127 @@
+"""Lint: collective-group discipline and facade completeness.
+
+Two static checks that keep the mesh-first API honest:
+
+1. **Group discipline.** Every collective runs over a
+   :class:`repro.comm.world.Group`, and the mesh refactor made
+   :class:`repro.mesh.device_mesh.DeviceMesh` (plus the ``World``
+   helpers in ``comm/world.py``) the only places allowed to construct
+   one. A ``Group(...)`` call anywhere else bypasses the named-axis
+   bookkeeping — its traffic would be invisible to the per-axis
+   telemetry and the elastic layout checks. The whole ``src/repro``
+   tree is parsed; any ``Group(...)`` / ``*.Group(...)`` call outside
+   ``mesh/`` and ``comm/world.py`` is a violation.
+
+2. **Facade audit.** Every name in ``repro.__all__`` must resolve on
+   the imported package, and every public (non-dunder) name must be
+   mentioned in the README — the blessed surface and its documentation
+   move together or not at all.
+
+Usage::
+
+    python tools/mesh_discipline_check.py [src/repro] [--no-facade]
+
+Exits 0 when clean, 1 with one ``path:line: message`` per violation,
+2 on usage errors. Wired into tier-1 via
+``tests/test_tooling/test_mesh_discipline.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Path prefixes (relative to src/repro) where Group construction is
+#: legitimate: the mesh package owns axis groups, and comm/world.py owns
+#: the World-level helpers (world_group, new_group, pair_group).
+ALLOWED_GROUP_SITES = ("mesh/", "comm/world.py")
+
+
+def _is_group_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "Group"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Group"
+    return False
+
+
+def check_group_discipline(root: Path) -> list[str]:
+    """Flag ``Group(...)`` construction outside the allowed sites."""
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in ALLOWED_GROUP_SITES or any(
+            rel.startswith(p) for p in ALLOWED_GROUP_SITES if p.endswith("/")
+        ):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _is_group_call(node):
+                violations.append(
+                    f"{rel}:{node.lineno}: Group(...) constructed outside "
+                    "repro.mesh / repro.comm.world — build groups through "
+                    "DeviceMesh.groups()/World.new_group() so their traffic "
+                    "stays on the named-axis books"
+                )
+    return violations
+
+
+def check_facade(root: Path) -> list[str]:
+    """Every ``repro.__all__`` name resolves and is documented."""
+    src_dir = root.parent
+    repo = src_dir.parent
+    violations: list[str] = []
+    sys.path.insert(0, str(src_dir))
+    try:
+        import repro
+    except Exception as err:  # pragma: no cover - import should never fail
+        return [f"__init__.py:1: import repro failed: {err!r}"]
+    finally:
+        sys.path.remove(str(src_dir))
+    readme = repo / "README.md"
+    readme_text = readme.read_text(encoding="utf-8") if readme.exists() else ""
+    for name in repro.__all__:
+        if not hasattr(repro, name):
+            violations.append(
+                f"__init__.py:1: __all__ lists {name!r} but the package has "
+                "no such attribute"
+            )
+            continue
+        if name.startswith("__") and name.endswith("__"):
+            continue
+        if name not in readme_text:
+            violations.append(
+                f"__init__.py:1: public name {name!r} is not mentioned in "
+                "README.md — document it in the API tour or drop it from "
+                "__all__"
+            )
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = [a for a in argv if not a.startswith("--")]
+    flags = {a for a in argv if a.startswith("--")}
+    unknown = flags - {"--no-facade"}
+    if unknown:
+        sys.stderr.write(f"unknown flags: {sorted(unknown)}\n")
+        return 2
+    root = Path(args[0]) if args else Path(__file__).parent.parent / "src" / "repro"
+    if not root.is_dir():
+        sys.stderr.write(f"not a directory: {root}\n")
+        return 2
+    violations = check_group_discipline(root)
+    if "--no-facade" not in flags:
+        violations += check_facade(root)
+    for v in violations:
+        sys.stderr.write(v + "\n")
+    if violations:
+        sys.stderr.write(f"{len(violations)} mesh-discipline violation(s) found\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
