@@ -2,8 +2,9 @@
 
 Covers ``BENCH_hotpath.json`` (substrate training throughput),
 ``BENCH_serving.json`` (online serving throughput/saturation),
-``BENCH_multicore.json`` (process-backend speedup and bit-identity), and
-``ELASTIC_campaign.json`` (resize chaos campaign bit-identity).
+``BENCH_multicore.json`` (process-backend speedup and bit-identity),
+``ELASTIC_campaign.json`` (resize chaos campaign bit-identity), and
+``MESHPERF.json`` (mesh perf-model predicted-vs-measured reconciliation).
 
 Usage::
 
@@ -11,6 +12,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_serving.py      # fresh run
     PYTHONPATH=src python benchmarks/bench_multicore.py    # fresh run
     PYTHONPATH=src python benchmarks/bench_elastic.py      # fresh run
+    PYTHONPATH=src python benchmarks/bench_meshperf.py     # fresh run
     python benchmarks/check_regression.py                  # diff vs baselines
     python benchmarks/check_regression.py --update         # bless current runs
 
@@ -51,6 +53,8 @@ MULTICORE_FRESH = HERE / "BENCH_multicore.json"
 MULTICORE_BASELINE = HERE / "BENCH_multicore.baseline.json"
 ELASTIC_FRESH = HERE / "ELASTIC_campaign.json"
 ELASTIC_BASELINE = HERE / "ELASTIC_campaign.baseline.json"
+MESHPERF_FRESH = HERE / "MESHPERF.json"
+MESHPERF_BASELINE = HERE / "MESHPERF.baseline.json"
 DEFAULT_THRESHOLD = 0.15
 
 #: Optional artifact -> (baseline path, producing command). The hotpath
@@ -59,6 +63,7 @@ OPTIONAL_ARTIFACTS = {
     "serving": (SERVING_FRESH, SERVING_BASELINE, "bench_serving.py"),
     "multicore": (MULTICORE_FRESH, MULTICORE_BASELINE, "bench_multicore.py"),
     "elastic": (ELASTIC_FRESH, ELASTIC_BASELINE, "bench_elastic.py"),
+    "meshperf": (MESHPERF_FRESH, MESHPERF_BASELINE, "bench_meshperf.py"),
 }
 
 
@@ -166,6 +171,52 @@ def compare_elastic(
             f"baseline covered {want}"
         )
     return problems
+
+
+def compare_meshperf(
+    fresh: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Regressions in the mesh perf-model artifact (empty = pass).
+
+    Correctness gate, not throughput: the analytic model's per-axis
+    byte/call predictions must reconcile with the measured telemetry
+    (tp/dp exactly, pp within its own tolerance), and the fresh run must
+    not have quietly dropped mesh coverage below the baseline.
+    """
+    problems: list[str] = []
+    if not fresh.get("reconciled", False):
+        bad = [r for r in fresh.get("axes", []) if not r.get("ok", False)]
+        detail = ", ".join(f"{r['mesh']}/{r['axis']}" for r in bad) or "unknown"
+        problems.append(
+            f"meshperf: predicted traffic no longer reconciles with measured "
+            f"telemetry ({detail})"
+        )
+    want = len(baseline.get("axes", []))
+    if len(fresh.get("axes", [])) < want:
+        problems.append(
+            f"meshperf: fresh run covers {len(fresh.get('axes', []))} axis "
+            f"rows, baseline covered {want}"
+        )
+    return problems
+
+
+def render_meshperf(fresh: dict, baseline: dict) -> str:
+    """One-line mesh reconciliation verdict plus any drifting axes."""
+    verdict = "reconciled" if fresh.get("reconciled") else "DRIFTED"
+    rows = fresh.get("axes", [])
+    meshes = {r["mesh"] for r in rows}
+    lines = [
+        f"{'meshperf':<12} {len(rows):>9} axis rows over {len(meshes)} meshes"
+        f"   ({verdict}, pp tol {fresh.get('pp_tolerance', 0.0):.0%})"
+    ]
+    for r in rows:
+        if not r.get("ok", False):
+            lines.append(
+                f"{'':<12}   {r['mesh']}/{r['axis']}: predicted "
+                f"{r['predicted_bytes']:.0f}B/{r['predicted_calls']} vs "
+                f"measured {r['measured_bytes']}B/{r['measured_calls']}"
+            )
+    return "\n".join(lines)
 
 
 def render_elastic(fresh: dict, baseline: dict) -> str:
@@ -291,11 +342,13 @@ def main(argv: list[str] | None = None) -> int:
         "serving": render_serving,
         "multicore": render_multicore,
         "elastic": render_elastic,
+        "meshperf": render_meshperf,
     }
     comparers = {
         "serving": compare_serving,
         "multicore": compare_multicore,
         "elastic": compare_elastic,
+        "meshperf": compare_meshperf,
     }
     for name, (fresh_path, baseline_path, cmd) in OPTIONAL_ARTIFACTS.items():
         if fresh_path.exists() and baseline_path.exists():

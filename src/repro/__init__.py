@@ -84,6 +84,7 @@ from repro.mesh import DeviceMesh, MeshEngine, MeshSpec, TPContext
 from repro.models.mae import MaskedAutoencoder
 from repro.models.vit import VisionTransformer
 from repro.optim.adamw import AdamW
+from repro.perf.mesh_model import MeshTrafficPrediction, predict_mesh_traffic
 from repro.perf.simulator import PerfParams, TrainStepSimulator
 from repro.precision import LossScaler, bf16_round, from_bf16, to_bf16
 from repro.serve import (
@@ -164,6 +165,8 @@ __all__ = [
     "frontier_machine",
     "TrainStepSimulator",
     "PerfParams",
+    "MeshTrafficPrediction",
+    "predict_mesh_traffic",
     "LossScaler",
     "bf16_round",
     "to_bf16",

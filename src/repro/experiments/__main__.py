@@ -13,7 +13,10 @@ from __future__ import annotations
 import sys
 import time
 
-_FAST = ["table1", "table2", "fig1", "fig2", "fig3", "fig4", "ablations", "mesh"]
+_FAST = [
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "ablations",
+    "mesh", "mesh-crossover",
+]
 _SLOW = [
     "fig5", "table3", "fig6",
     "fewshot", "adaptation", "ssl", "segmentation",
@@ -81,6 +84,10 @@ def _render(name: str) -> str:
         from repro.experiments.mesh_axes import render_mesh_axes
 
         return render_mesh_axes()
+    if name == "mesh-crossover":
+        from repro.experiments.mesh_crossover import render_mesh_crossover
+
+        return render_mesh_crossover()
     if name == "fewshot":
         from repro.experiments.fewshot import render_fewshot, run_fewshot
 

@@ -29,7 +29,13 @@ from repro.models.mae import MaskedAutoencoder
 from repro.telemetry import RecordingSink, RunReport, TelemetryBus
 from repro.utils.units import MIB
 
-__all__ = ["MeshAxisPoint", "run_mesh_axes", "render_mesh_axes"]
+__all__ = [
+    "MeshAxisPoint",
+    "MicroSlotError",
+    "MICRO_SLOTS",
+    "run_mesh_axes",
+    "render_mesh_axes",
+]
 
 #: Proxy model for the axis sweep: 4 heads so tp in {2, 4} divides, 7
 #: pipeline ops so pp up to 7 partitions.
@@ -55,11 +61,28 @@ CONFIGS = [
 
 STEPS = 2
 BATCH = 2
+#: Microbatch slots every configuration consumes per step. dp splits
+#: them across replicas and grad accumulation fills the rest, so
+#: ``MICRO_SLOTS % dp == 0`` is a hard contract of the sweep.
+MICRO_SLOTS = 4
+
+
+class MicroSlotError(ValueError):
+    """A mesh's dp degree does not evenly divide the micro slots.
+
+    Raised instead of silently floor-dividing: dropping micros would
+    train on less data and break the bit-identical-loss contract.
+    """
 
 
 @dataclass(frozen=True)
 class MeshAxisPoint:
-    """Per-axis communication totals for one mesh configuration."""
+    """Per-axis communication totals for one mesh configuration.
+
+    ``*_bytes``/``*_calls`` are the exact measured telemetry totals the
+    reconciliation harness compares against; ``*_mib`` are the rendered
+    columns.
+    """
 
     label: str
     shape: str
@@ -71,6 +94,9 @@ class MeshAxisPoint:
     pp_calls: int
     dp_calls: int
     loss: float
+    tp_bytes: int = 0
+    pp_bytes: int = 0
+    dp_bytes: int = 0
 
 
 def _micros(n: int, seed: int) -> list:
@@ -97,7 +123,15 @@ def run_mesh_axes(steps: int = STEPS) -> list[MeshAxisPoint]:
     points = []
     for label, spec, strategy in CONFIGS:
         bus = TelemetryBus(RecordingSink())
-        k = 4 // spec.dp  # 4 micro slots everywhere
+        if MICRO_SLOTS % spec.dp != 0:
+            raise MicroSlotError(
+                f"mesh {spec.describe()}: dp={spec.dp} does not divide the "
+                f"{MICRO_SLOTS} micro slots evenly; every configuration must "
+                f"consume exactly {MICRO_SLOTS} microbatches per step "
+                "(dp replicas x grad_accum_steps) or the bit-identical-loss "
+                "contract breaks"
+            )
+        k = MICRO_SLOTS // spec.dp
         engine = make_engine(
             MaskedAutoencoder(PROXY, rng=np.random.default_rng(7)),
             strategy,
@@ -110,18 +144,24 @@ def run_mesh_axes(steps: int = STEPS) -> list[MeshAxisPoint]:
         finally:
             engine.close()
         report = RunReport.from_events(bus.sink.events)
+        tp_b = report.axis_bytes("tp")
+        pp_b = report.axis_bytes("pp")
+        dp_b = report.axis_bytes("dp")
         points.append(
             MeshAxisPoint(
                 label=label,
                 shape=f"{spec.pp}x{spec.dp}x{spec.tp}",
                 strategy=strategy,
-                tp_mib=report.axis_bytes("tp") / MIB,
-                pp_mib=report.axis_bytes("pp") / MIB,
-                dp_mib=report.axis_bytes("dp") / MIB,
+                tp_mib=tp_b / MIB,
+                pp_mib=pp_b / MIB,
+                dp_mib=dp_b / MIB,
                 tp_calls=report.axis_calls("tp"),
                 pp_calls=report.axis_calls("pp"),
                 dp_calls=report.axis_calls("dp"),
                 loss=loss,
+                tp_bytes=int(tp_b),
+                pp_bytes=int(pp_b),
+                dp_bytes=int(dp_b),
             )
         )
     return points

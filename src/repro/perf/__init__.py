@@ -11,8 +11,11 @@ power/utilization traces.
   compute costs.
 - :mod:`repro.perf.memory_model` — per-strategy resident-memory model.
 - :mod:`repro.perf.io_model` — dataloader/filesystem throughput model.
+- :mod:`repro.perf.mesh_model` — closed-form per-axis (tp/pp/dp)
+  collective payloads of a mesh run, reconciled byte-for-byte against
+  the executable engines' telemetry.
 - :mod:`repro.perf.schedule` — builds the per-step task graph for a
-  strategy + prefetch policy.
+  strategy + prefetch policy, and composes the pipeline bubble.
 - :mod:`repro.perf.simulator` — end-to-end step timing and reports.
 - :mod:`repro.perf.tracing` — Chrome-trace export of simulated steps.
 - :mod:`repro.perf.hotpath` — *measured* (not modeled) wall-clock
@@ -32,9 +35,21 @@ from repro.perf.hotpath import (
 )
 from repro.perf.io_model import IoModel
 from repro.perf.memory_model import MemoryBreakdown, memory_breakdown
+from repro.perf.mesh_model import (
+    AxisTraffic,
+    MeshTrafficPrediction,
+    predict_mesh_traffic,
+    tp_shardable_fraction,
+)
+from repro.perf.schedule import pipeline_bubble_fraction
 from repro.perf.simulator import PerfParams, StepBreakdown, TrainStepSimulator
 
 __all__ = [
+    "AxisTraffic",
+    "MeshTrafficPrediction",
+    "predict_mesh_traffic",
+    "tp_shardable_fraction",
+    "pipeline_bubble_fraction",
     "KernelTiming",
     "PairTiming",
     "StepTiming",

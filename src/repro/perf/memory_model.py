@@ -41,11 +41,14 @@ validated against actually-allocated NumPy bytes in the test suite.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.config import MAEConfig, ViTConfig, count_mae_params, count_vit_params
 from repro.core.sharding import ShardingStrategy
+from repro.mesh.spec import MeshSpec
 from repro.perf.compute_model import BYTES_PER_PARAM
+from repro.perf.mesh_model import tp_shardable_fraction
 from repro.precision.bf16 import DTYPE_BYTES, PRECISIONS
 
 __all__ = ["MemoryBreakdown", "memory_breakdown", "activation_bytes"]
@@ -166,6 +169,8 @@ def memory_breakdown(
     allocator_overhead_frac: float = 0.18,
     precision: str = "fp32",
     grad_accum_steps: int = 1,
+    mesh: MeshSpec | None = None,
+    pipeline_micros: int = 1,
 ) -> MemoryBreakdown:
     """Per-GPU memory for a training step of ``model`` under ``strategy``.
 
@@ -174,6 +179,14 @@ def memory_breakdown(
     the model-state split (see :func:`_state_components`) and halves
     transient and activation widths; ``grad_accum_steps > 1`` adds the
     unsharded fp32 accumulation buffer.
+
+    With a ``mesh``, the sharding strategy applies along the dp axis
+    only (``mesh.dp`` replaces ``world_size`` as the divisor); pipeline
+    parallelism keeps ``~1/pp`` of the blocks per stage (even-split
+    approximation) and tensor parallelism divides the tp-shardable GEMM
+    parameter fraction by ``mesh.tp``. Activation residency follows the
+    schedule: gpipe keeps all ``pipeline_micros`` microbatch inputs
+    live before the backward drains them, 1f1b at most ``pp``.
     """
     if world_size < 1:
         raise ValueError(f"world_size must be >= 1, got {world_size}")
@@ -181,8 +194,30 @@ def memory_breakdown(
         raise ValueError(f"precision must be one of {PRECISIONS}, got {precision!r}")
     if grad_accum_steps < 1:
         raise ValueError(f"grad_accum_steps must be >= 1, got {grad_accum_steps}")
+    if pipeline_micros < 1:
+        raise ValueError(f"pipeline_micros must be >= 1, got {pipeline_micros}")
     total_params, stacks, max_block_params = _workload_dims(model)
     param_width = float(DTYPE_BYTES["bf16" if precision == "bf16" else "fp32"])
+
+    pp = tp = 1
+    live_micros = 1
+    if mesh is not None:
+        pp, tp = mesh.pp, mesh.tp
+        if mesh.size != world_size:
+            raise ValueError(
+                f"mesh.size={mesh.size} disagrees with world_size={world_size}"
+            )
+        # dp is the only axis the sharding strategy divides over.
+        world_size = mesh.dp
+        if shard_size is not None:
+            shard_size = min(shard_size, mesh.dp)
+        frac = tp_shardable_fraction(model)
+        param_scale = ((1.0 - frac) + frac / tp) / pp
+        total_params *= param_scale
+        max_block_params /= tp
+        live_micros = (
+            min(pipeline_micros, pp) if mesh.schedule == "1f1b" else pipeline_micros
+        )
 
     # Sharding divisors: parameters vs everything else (grads, masters,
     # moments). SHARD_GRAD_OP is the only strategy where they differ.
@@ -216,15 +251,31 @@ def memory_breakdown(
         by_dtype[precision] = by_dtype.get(precision, 0.0) + transient
 
     act_width = float(DTYPE_BYTES["bf16"]) if precision == "bf16" else BYTES_PER_PARAM
-    acts = sum(
-        activation_bytes(w, d, h, s, local_batch, checkpointing, act_width)
-        for (w, d, h, s) in stacks
-    )
+    if mesh is not None:
+        # Per stage: ~depth/pp stored block inputs, one live block's
+        # intermediates sharded tp ways (qkv/mlp widths and attention
+        # scores are all head-/column-parallel). In-flight microbatches
+        # multiply the stored inputs, not the single live block.
+        acts = 0.0
+        for w, d, h, s in stacks:
+            local_depth = math.ceil(d / pp)
+            block_inputs = local_batch * s * act_width * w * local_depth
+            live_block = local_batch * s * act_width * (12 * w + h * s) / tp
+            if checkpointing:
+                acts += block_inputs * live_micros + live_block
+            else:
+                acts += (local_depth * live_block + block_inputs) * live_micros
+    else:
+        acts = sum(
+            activation_bytes(w, d, h, s, local_batch, checkpointing, act_width)
+            for (w, d, h, s) in stacks
+        )
     by_dtype[precision] = by_dtype.get(precision, 0.0) + acts
 
     # Accumulated gradients are combined at full precision between
     # optimizer steps, whatever the wire/working dtype.
-    grad_accum = 0.0 if grad_accum_steps == 1 else total_params * 4.0
+    accumulating = grad_accum_steps > 1 or (mesh is not None and pipeline_micros > 1)
+    grad_accum = total_params * 4.0 if accumulating else 0.0
     if grad_accum:
         by_dtype["fp32"] = by_dtype.get("fp32", 0.0) + grad_accum
 

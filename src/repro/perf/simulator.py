@@ -8,12 +8,15 @@ training step look like?*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
+from repro.comm.world import World
 from repro.core.config import MAEConfig, ViTConfig
 from repro.core.sharding import BackwardPrefetch, ShardingStrategy
 from repro.hardware.frontier import Machine
 from repro.hardware.power import PowerModel, PowerTrace
+from repro.mesh.pipeline import partition_stages
+from repro.mesh.spec import MeshSpec
 from repro.perf.compute_model import (
     BYTES_PER_PARAM,
     mae_workload_units,
@@ -21,7 +24,21 @@ from repro.perf.compute_model import (
 )
 from repro.perf.io_model import IoModel
 from repro.perf.memory_model import MemoryBreakdown, memory_breakdown
-from repro.perf.schedule import ScheduleParams, StepSchedule, build_step_schedule
+from repro.perf.mesh_model import (
+    mesh_axis_placements,
+    p2p_seconds,
+    pp_boundary_crosses_nodes,
+    unit_mesh_profiles,
+)
+from repro.perf.schedule import (
+    MeshCommPlan,
+    ScheduleParams,
+    StepSchedule,
+    TpUnitComm,
+    build_step_schedule,
+    compose_pipeline,
+    pipeline_bubble_fraction,
+)
 
 __all__ = ["PerfParams", "StepBreakdown", "TrainStepSimulator"]
 
@@ -69,6 +86,21 @@ class PerfParams:
     realloc_pressure_threshold: float = 0.55
     #: Compute-time inflation at 100% HBM occupancy (quadratic ramp).
     realloc_penalty: float = 6.0
+    #: Mesh composition (tp x pp x dp). ``None`` keeps the historical
+    #: dp-only model. When set, ``mesh.size`` must equal the machine's
+    #: world size and the dp sharding ``strategy`` applies over the dp
+    #: axis only.
+    mesh: MeshSpec | None = None
+    #: Microbatches in flight per pipelined step; ``0`` resolves to
+    #: ``max(pp, grad_accum_steps)`` (enough micros to fill the pipe).
+    pipeline_micros: int = 0
+
+    def resolved_micros(self) -> int:
+        """Microbatch rounds of one optimizer step under the mesh."""
+        if self.pipeline_micros:
+            return self.pipeline_micros
+        pp = self.mesh.pp if self.mesh is not None else 1
+        return max(pp, self.grad_accum_steps)
 
     def resolved_schedule(self, optimizer_seconds: float) -> ScheduleParams:
         """Schedule params with prefetch/limit/precision/optimizer applied."""
@@ -96,9 +128,24 @@ class StepBreakdown:
     world_size: int
     local_batch: int
     memory: MemoryBreakdown
+    #: Images consumed per optimizer step; ``0`` means the historical
+    #: dp-only convention (``world_size * local_batch``). Mesh steps set
+    #: it explicitly (only dp replicas consume data, times the
+    #: microbatch rounds in flight).
+    images_per_step: int = 0
+    #: Pipeline fill/drain share of the step (0.0 without a mesh).
+    bubble_fraction: float = 0.0
+    #: Predicted per-axis communication seconds ("tp"/"pp"/"dp").
+    axis_comm_seconds: dict = field(default_factory=dict)
 
     def _ips(self, t: float) -> float:
-        return self.world_size * self.local_batch / t if t > 0 else float("inf")
+        # 0.0 (not inf) for degenerate non-positive times: a step that
+        # "takes no time" delivers no images, and downstream tables must
+        # stay finite.
+        if t <= 0:
+            return 0.0
+        images = self.images_per_step or self.world_size * self.local_batch
+        return images / t
 
     @property
     def ips(self) -> float:
@@ -127,7 +174,9 @@ class StepBreakdown:
 
     @property
     def compute_occupancy(self) -> float:
-        """Share of the step spent computing."""
+        """Share of the step spent computing (0.0 for zero-time steps)."""
+        if self.step_time_s <= 0:
+            return 0.0
         return min(1.0, self.compute_seconds / self.step_time_s)
 
     @property
@@ -138,8 +187,10 @@ class StepBreakdown:
         compute_occupancy)`` — the power model's busy fraction — equals
         the schedule's true busy share (compute plus *exposed*
         communication); overlapped communication is already inside the
-        compute span.
+        compute span. 0.0 for degenerate zero-time steps.
         """
+        if self.step_time_s <= 0:
+            return 0.0
         return min(
             1.0,
             self.compute_occupancy + self.exposed_comm_seconds / self.step_time_s,
@@ -188,6 +239,18 @@ class TrainStepSimulator:
             self.units = vit_workload_units(
                 model, self.params.local_batch, machine.gpu
             )
+        self.mesh = self.params.mesh
+        if self.mesh is not None:
+            if self.mesh.size != self.world.size:
+                raise ValueError(
+                    f"mesh {self.mesh.describe()} needs {self.mesh.size} ranks "
+                    f"but the machine slice has {self.world.size}"
+                )
+            if self.mesh.pp > len(self.units):
+                raise ValueError(
+                    f"pp={self.mesh.pp} exceeds the {len(self.units)} "
+                    "workload units available to partition"
+                )
         mult = self._realloc_multiplier()
         if mult > 1.0:
             self.units = [
@@ -217,14 +280,22 @@ class TrainStepSimulator:
 
     def _local_state_params(self) -> float:
         """Parameters whose optimizer state this rank owns."""
-        total = self.total_param_bytes() / BYTES_PER_PARAM
+        if self.mesh is not None:
+            # This rank holds one stage's tp shard; dp sharding divides
+            # further below.
+            stage_units, _, _ = self._mesh_stage()
+            total = sum(u.param_bytes for u in stage_units) / BYTES_PER_PARAM
+            dp_size = self.mesh.dp
+        else:
+            total = self.total_param_bytes() / BYTES_PER_PARAM
+            dp_size = self.world.size
         if self.strategy in (ShardingStrategy.NO_SHARD, ShardingStrategy.DDP):
             return total
         if self.strategy in (
             ShardingStrategy.FULL_SHARD,
             ShardingStrategy.SHARD_GRAD_OP,
         ):
-            return total / self.world.size
+            return total / dp_size
         if self.strategy is ShardingStrategy.HYBRID_SHARD:
             if self.shard_size is None:
                 raise ValueError("HYBRID_SHARD requires shard_size")
@@ -239,8 +310,103 @@ class TrainStepSimulator:
             / self.machine.gpu.hbm_bw
         )
 
+    def _mesh_stage(self):
+        """(scaled units, profiles, boundary bytes) of the heaviest stage.
+
+        Stage selection partitions the workload units exactly as the
+        engine partitions pipeline ops (earlier stages take the
+        remainder) and times the busiest one — the pipeline clocks at
+        the slowest stage. Tensor parallelism divides each block unit's
+        GEMM compute and its tp-shardable parameter bytes ``tp`` ways;
+        the root unit (embeddings/norms/heads) is replicated.
+        """
+        cached = getattr(self, "_mesh_stage_cache", None)
+        if cached is not None:
+            return cached
+        mesh = self.mesh
+        bounds = partition_stages(len(self.units), mesh.pp)
+        sums = [sum(u.fwd_seconds for u in self.units[a:b]) for a, b in bounds]
+        idx = max(range(len(bounds)), key=lambda s: sums[s])
+        a, b = bounds[idx]
+        profiles = unit_mesh_profiles(self.model, self.params.local_batch)
+        stage_units, stage_profiles = [], []
+        for u, prof in zip(self.units[a:b], profiles[a:b]):
+            if mesh.tp > 1 and prof.tp_fwd_payloads:
+                f = prof.tp_param_fraction
+                u = replace(
+                    u,
+                    fwd_seconds=u.fwd_seconds / mesh.tp,
+                    param_bytes=int(
+                        round(u.param_bytes * ((1.0 - f) + f / mesh.tp))
+                    ),
+                )
+            stage_units.append(u)
+            stage_profiles.append(prof)
+        in_bytes = profiles[a - 1].out_bytes if idx > 0 else 0.0
+        out_bytes = profiles[b - 1].out_bytes if idx < mesh.pp - 1 else 0.0
+        self._mesh_stage_cache = (stage_units, stage_profiles, (in_bytes, out_bytes))
+        return self._mesh_stage_cache
+
+    def _build_mesh_schedule(self) -> StepSchedule:
+        """One pipelined mesh step: dp graph + injected tp/pp comm + bubble."""
+        mesh = self.mesh
+        stage_units, stage_profiles, (in_bytes, out_bytes) = self._mesh_stage()
+        cost = self.machine.cost_model
+        wire = self.params.precision
+        tp_units: tuple[TpUnitComm, ...] = ()
+        if mesh.tp > 1:
+            tp_pl = mesh_axis_placements(self.world, mesh)["tp"]
+            tp_units = tuple(
+                TpUnitComm(
+                    fwd_seconds=sum(
+                        cost.all_gather(pb, tp_pl, wire)
+                        for pb in prof.tp_fwd_payloads
+                    ),
+                    bwd_seconds=sum(
+                        cost.all_gather(pb, tp_pl, wire)
+                        for pb in prof.tp_bwd_payloads
+                    ),
+                    fwd_calls=len(prof.tp_fwd_payloads),
+                    bwd_calls=len(prof.tp_bwd_payloads),
+                )
+                for prof in stage_profiles
+            )
+        crosses = pp_boundary_crosses_nodes(self.world, mesh)
+        plan = MeshCommPlan(
+            tp_units=tp_units,
+            pp_in_seconds=p2p_seconds(cost, in_bytes, crosses, wire),
+            pp_out_seconds=p2p_seconds(cost, out_bytes, crosses, wire),
+            reduce_per_step=True,
+            dp_nic_share=(
+                min(mesh.tp, self.world.ranks_per_node) if mesh.tp > 1 else 1
+            ),
+        )
+        # The dp axis strides over tp blocks: its members pack
+        # ranks_per_node // tp to a node.
+        dp_world = World(
+            size=mesh.dp,
+            ranks_per_node=max(1, self.world.ranks_per_node // mesh.tp),
+        )
+        sched = build_step_schedule(
+            units=stage_units,
+            strategy=self.strategy,
+            world=dp_world,
+            cost_model=cost,
+            shard_size=self.shard_size,
+            params=self.params.resolved_schedule(0.0),
+            mesh=plan,
+        )
+        return compose_pipeline(
+            sched,
+            n_micro=self.params.resolved_micros(),
+            pp=mesh.pp,
+            optimizer_seconds=self.optimizer_seconds(),
+        )
+
     def build_schedule(self) -> StepSchedule:
         """Build this configuration's one-step task graph."""
+        if self.mesh is not None:
+            return self._build_mesh_schedule()
         return build_step_schedule(
             units=self.units,
             strategy=self.strategy,
@@ -260,6 +426,10 @@ class TrainStepSimulator:
             local_batch=self.params.local_batch,
             precision=self.params.precision,
             grad_accum_steps=self.params.grad_accum_steps,
+            mesh=self.mesh,
+            pipeline_micros=(
+                self.params.resolved_micros() if self.mesh is not None else 1
+            ),
         )
 
     # -- the answer ------------------------------------------------------------
@@ -269,20 +439,35 @@ class TrainStepSimulator:
         sched = self.build_schedule()
         syn = sched.step_time + _HOST_OVERHEAD_S
         no_comm = sched.step_time_no_comm + _HOST_OVERHEAD_S
-        io_t = self.io.step_time(self.params.local_batch, self.world.size)
+        if self.mesh is not None:
+            # Only dp-replica ranks consume data; a step drains
+            # resolved_micros() microbatches per replica.
+            micros = self.params.resolved_micros()
+            images = self.mesh.dp * micros * self.params.local_batch
+            io_t = self.io.step_time(
+                micros * self.params.local_batch, max(1, self.mesh.dp)
+            )
+            bubble = pipeline_bubble_fraction(micros, self.mesh.pp)
+        else:
+            images = 0  # historical world * local_batch convention
+            io_t = self.io.step_time(self.params.local_batch, self.world.size)
+            bubble = 0.0
         real = max(syn, io_t) * (1.0 + _DATALOADER_OVERHEAD)
         return StepBreakdown(
             step_time_s=syn,
             step_time_no_comm_s=no_comm,
             io_step_time_s=io_t,
             real_step_time_s=real,
-            comm_seconds=sched.comm_seconds,
+            comm_seconds=sched.step_comm_seconds,
             exposed_comm_seconds=sched.exposed_comm_seconds,
-            comm_calls=sched.comm_calls,
-            compute_seconds=sched.compute_seconds,
+            comm_calls=sched.step_comm_calls,
+            compute_seconds=sched.step_compute_seconds,
             world_size=self.world.size,
             local_batch=self.params.local_batch,
             memory=self.memory(),
+            images_per_step=images,
+            bubble_fraction=bubble,
+            axis_comm_seconds=sched.step_axis_comm_seconds(),
         )
 
     def power_trace(

@@ -139,6 +139,16 @@ class RunReport:
         agg = self.axis_spans.get(axis)
         return agg.count if agg is not None else 0
 
+    def untagged_comm_bytes(self) -> float:
+        """``comm.`` span bytes carrying no ``axis=`` tag.
+
+        The global comm ledger decomposes exactly:
+        ``span_bytes("comm.") == sum(axis_bytes(a)) + untagged_comm_bytes()``
+        — the reconciliation tests pin that identity.
+        """
+        tagged = sum(a.bytes for a in self.axis_spans.values())
+        return self.span_bytes("comm.") - tagged
+
     @property
     def comm_seconds(self) -> float:
         """Wall seconds spent inside collective spans."""

@@ -315,3 +315,17 @@ class TestLatencyStats:
         assert stats["n_ok"] == 10
         assert 0 < stats["p50_ms"] <= stats["p99_ms"] <= stats["max_ms"]
         assert latency_stats([])["n_ok"] == 0
+
+    def test_small_sample_p99_is_an_observed_latency(self):
+        # With < ~100 samples, interpolated p99 would sit *below* the
+        # worst response; method="higher" pins it to an observed value.
+        from repro.serve.queue import Response
+
+        responses = [
+            Response(req_id=i, status="ok", arrival_s=0.0, done_s=lat)
+            for i, lat in enumerate([0.010, 0.011, 0.012, 0.013, 0.250])
+        ]
+        stats = latency_stats(responses)
+        observed_ms = {r.latency_s * 1e3 for r in responses}
+        assert stats["p99_ms"] in observed_ms
+        assert stats["p99_ms"] == stats["max_ms"] == 250.0

@@ -1,0 +1,73 @@
+"""RunReport per-axis accounting edge cases (mesh reconciliation inputs).
+
+The mesh engines tag collective spans with ``axis=tp|pp|dp``; dp-only
+engines publish untagged ``comm.<op>`` spans. The per-axis buckets must
+stay a *partition* of the global comm ledger: unknown axes read 0,
+untagged spans land in no bucket, and tagged + untagged always sum back
+to ``span_bytes("comm.")``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import RunReport, TelemetryEvent
+
+
+def _span(name: str, nbytes: float, axis: str | None = None) -> TelemetryEvent:
+    attrs: dict = {"bytes": nbytes}
+    if axis is not None:
+        attrs["axis"] = axis
+    return TelemetryEvent(kind="span", name=name, value=1e-3, t_s=0.0, attrs=attrs)
+
+
+EVENTS = [
+    _span("comm.all_gather", 100.0, axis="tp"),
+    _span("comm.all_gather", 50.0, axis="tp"),
+    _span("comm.send", 30.0, axis="pp"),
+    _span("comm.all_reduce", 200.0, axis="dp"),
+    _span("comm.all_reduce", 70.0),  # untagged: dp-only engine idiom
+    _span("comm.broadcast", 5.0),  # untagged
+    _span("compute.fwd", 0.0),  # not a comm span at all
+]
+
+
+def test_unknown_axis_returns_zero_not_raise():
+    report = RunReport.from_events(EVENTS)
+    assert report.axis_bytes("ep") == 0.0
+    assert report.axis_calls("ep") == 0
+    assert report.axis_bytes("") == 0.0
+
+
+def test_untagged_spans_excluded_from_every_axis_bucket():
+    report = RunReport.from_events(EVENTS)
+    assert report.axis_bytes("tp") == 150.0
+    assert report.axis_calls("tp") == 2
+    assert report.axis_bytes("pp") == 30.0
+    assert report.axis_calls("pp") == 1
+    assert report.axis_bytes("dp") == 200.0
+    assert report.axis_calls("dp") == 1
+    # The untagged 75 bytes appear in no bucket...
+    tagged = sum(report.axis_bytes(a) for a in ("tp", "pp", "dp"))
+    assert tagged == 380.0
+    # ...but are exactly the untagged remainder of the global ledger.
+    assert report.untagged_comm_bytes() == 75.0
+
+
+def test_axis_totals_plus_untagged_reconcile_with_global_ledger():
+    report = RunReport.from_events(EVENTS)
+    tagged = sum(a.bytes for a in report.axis_spans.values())
+    assert tagged + report.untagged_comm_bytes() == report.span_bytes("comm.")
+
+
+def test_all_untagged_stream_has_empty_axis_buckets():
+    report = RunReport.from_events(
+        [_span("comm.all_reduce", 42.0), _span("comm.all_gather", 8.0)]
+    )
+    assert report.axis_spans == {}
+    assert report.axis_bytes("dp") == 0.0
+    assert report.untagged_comm_bytes() == 50.0
+
+
+def test_empty_report_reconciles_trivially():
+    report = RunReport.from_events([])
+    assert report.span_bytes("comm.") == 0.0
+    assert report.untagged_comm_bytes() == 0.0
