@@ -23,6 +23,12 @@ Three phases:
   direct ``extract_features`` on a model threaded with the *same* pool
   size (thread count is part of the numerical configuration — see
   ``repro.backend.threads``).
+- **open loop** — the seeded multi-tenant diurnal+flash scenario from
+  ``repro.experiments.traffic_exp``, served twice: on the fleet the
+  capacity planner priced (then reconciled predicted vs measured
+  attainment / cost / utilization) and under the SLO-driven autoscaler.
+  All quantities are virtual-time, so these columns are deterministic
+  and machine-independent.
 
 Run directly (``python benchmarks/bench_serving.py``) or through pytest.
 """
@@ -234,6 +240,54 @@ def _threaded(model, images) -> dict:
     }
 
 
+# -- phase 5: open-loop traffic, planned fleet, autoscale ----------------------
+
+
+OPEN_LOOP_COST_TOLERANCE = 0.10
+
+
+def _open_loop() -> dict:
+    """Planned-fleet reconciliation and autoscaled run, all virtual time."""
+    from repro.experiments.traffic_exp import (
+        SLO_S,
+        run_traffic_autoscale,
+        run_traffic_plan,
+    )
+
+    plan, result, recon = run_traffic_plan()
+    auto_result, autoscaler = run_traffic_autoscale()
+    return {
+        "slo_s": SLO_S,
+        "planned": {
+            "fleet": plan.describe(),
+            "offered": result.offered,
+            "served": result.served,
+            "rejected": result.rejected,
+            "timed_out": result.timed_out,
+            "attainment": result.attainment,
+            "admitted_attainment": result.admitted_attainment,
+            "attainment_target": plan.attainment_target,
+            "predicted_cost_per_hour": plan.predicted_cost_per_hour,
+            "measured_cost_per_hour": result.measured_cost_per_hour,
+            "cost_tolerance": OPEN_LOOP_COST_TOLERANCE,
+            "reconciled": recon.reconciled,
+            "reconciliation": recon.to_json(),
+        },
+        "autoscale": {
+            "offered": auto_result.offered,
+            "attainment": auto_result.attainment,
+            "mean_replicas": auto_result.mean_replicas,
+            "max_replicas": auto_result.max_replicas,
+            "scale_events": auto_result.scale_events,
+            "scale_ups": sum(1 for e in autoscaler.events if e.action == "up"),
+            "scale_downs": sum(
+                1 for e in autoscaler.events if e.action == "down"
+            ),
+            "measured_cost_usd": auto_result.measured_cost_usd,
+        },
+    }
+
+
 # -- driver --------------------------------------------------------------------
 
 
@@ -244,6 +298,7 @@ def run_serving() -> dict:
     lat = _latency(model, images)
     cache = _cache(model, images)
     threaded = _threaded(model, images)
+    open_loop = _open_loop()
     return {
         "schema": 1,
         "gate": {
@@ -256,6 +311,7 @@ def run_serving() -> dict:
         "latency": lat,
         "cache": cache,
         "threaded": threaded,
+        "open_loop": open_loop,
     }
 
 
@@ -292,6 +348,25 @@ def render_serving(result: dict) -> str:
             f"{th['serving_images_per_s']:.0f} img/s serving, "
             f"bit-identical to direct: {th['bit_identical_to_direct']}"
         )
+    ol = result.get("open_loop")
+    if ol:
+        p, a = ol["planned"], ol["autoscale"]
+        verdict = "reconciled" if p["reconciled"] else "DRIFTED"
+        lines.append("")
+        lines.append(
+            f"open loop (SLO {ol['slo_s'] * 1e3:.0f} ms): planned "
+            f"{p['fleet']} served {p['served']}/{p['offered']}, admitted "
+            f"attainment {p['admitted_attainment']:.3f} "
+            f"(target {p['attainment_target']}), "
+            f"{p['measured_cost_per_hour']:.2f} $/h measured vs "
+            f"{p['predicted_cost_per_hour']:.2f} predicted -> {verdict}"
+        )
+        lines.append(
+            f"open loop autoscaled: attainment {a['attainment']:.3f}, fleet "
+            f"mean {a['mean_replicas']:.2f} / max {a['max_replicas']} "
+            f"({a['scale_ups']} ups, {a['scale_downs']} downs), spend "
+            f"{a['measured_cost_usd']:.4f} USD"
+        )
     return "\n".join(lines)
 
 
@@ -323,6 +398,14 @@ def _assert_gates(result: dict) -> None:
         "threaded serving features diverged from direct extract_features "
         f"at {th['threads']} threads"
     )
+    p = result["open_loop"]["planned"]
+    assert p["reconciled"], "planned fleet failed to reconcile"
+    assert p["admitted_attainment"] >= p["attainment_target"]
+    a = result["open_loop"]["autoscale"]
+    assert a["scale_ups"] > 0 and a["scale_downs"] > 0, (
+        "open-loop scenario must exercise both scale directions"
+    )
+    assert 1.0 <= a["mean_replicas"] <= a["max_replicas"]
 
 
 def test_serving(benchmark):

@@ -115,6 +115,35 @@ def compare_serving(
             f"serving saturation {gate['saturation_ratio']:.3f}x below its "
             f"own {gate['threshold']}x gate"
         )
+    # Open-loop gates are virtual-time quantities judged against the
+    # artifact's own recorded targets — machine-independent by design.
+    planned = fresh.get("open_loop", {}).get("planned", {})
+    if planned:
+        att = planned.get("admitted_attainment", 0.0)
+        target = planned.get("attainment_target", 0.0)
+        if att < target:
+            problems.append(
+                f"serving open-loop: SLO attainment {att:.3f} below its own "
+                f"target {target}"
+            )
+        if not planned.get("reconciled", False):
+            problems.append(
+                "serving open-loop: capacity plan no longer reconciles with "
+                "the measured run"
+            )
+        pred = planned.get("predicted_cost_per_hour", 0.0)
+        meas = planned.get("measured_cost_per_hour", 0.0)
+        tol = planned.get("cost_tolerance", 0.0)
+        if pred > 0 and abs(meas - pred) / pred > tol:
+            problems.append(
+                f"serving open-loop: measured cost {meas:.3f} $/h drifted "
+                f"more than {tol:.0%} from predicted {pred:.3f} $/h"
+            )
+    auto = fresh.get("open_loop", {}).get("autoscale", {})
+    if auto and auto.get("scale_events", 0) == 0:
+        problems.append(
+            "serving open-loop: autoscale scenario made no scale decisions"
+        )
     return problems
 
 
@@ -238,10 +267,20 @@ def render_serving(fresh: dict, baseline: dict) -> str:
     want = baseline.get("throughput", {})
     g, w = got.get("serving_images_per_s", 0.0), want.get("serving_images_per_s", 0.0)
     change = g / w - 1.0 if w > 0 else 0.0
-    return (
+    lines = [
         f"{'serving':<12} {w:>10.1f} {g:>10.1f} {change:>+7.1%}   "
         f"(saturation {fresh.get('gate', {}).get('saturation_ratio', 0.0):.3f}x)"
-    )
+    ]
+    planned = fresh.get("open_loop", {}).get("planned", {})
+    if planned:
+        verdict = "reconciled" if planned.get("reconciled") else "DRIFTED"
+        lines.append(
+            f"{'open loop':<12} {planned.get('fleet', '?'):>10} fleet, "
+            f"attainment {planned.get('admitted_attainment', 0.0):.3f} "
+            f"(target {planned.get('attainment_target', 0.0)}), "
+            f"{planned.get('measured_cost_per_hour', 0.0):.2f} $/h   ({verdict})"
+        )
+    return "\n".join(lines)
 
 
 def render_multicore(fresh: dict, baseline: dict) -> str:

@@ -88,14 +88,25 @@ from repro.perf.mesh_model import MeshTrafficPrediction, predict_mesh_traffic
 from repro.perf.simulator import PerfParams, TrainStepSimulator
 from repro.precision import LossScaler, bf16_round, from_bf16, to_bf16
 from repro.serve import (
+    AdmissionController,
+    Autoscaler,
+    AutoscalePolicy,
+    CapacityPlan,
     FixedServiceModel,
     InferenceServer,
     LRUFeatureCache,
+    RateProfile,
     ReplicaFaultPlan,
     ServerStats,
     ServiceTimeModel,
+    TenantSpec,
+    TenantTraffic,
     VirtualClock,
+    generate_workload,
     latency_stats,
+    plan_capacity,
+    reconcile_plan,
+    run_open_loop,
 )
 from repro.telemetry import (
     NULL_BUS,
@@ -179,6 +190,17 @@ __all__ = [
     "LRUFeatureCache",
     "ReplicaFaultPlan",
     "latency_stats",
+    "TenantSpec",
+    "AdmissionController",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "RateProfile",
+    "TenantTraffic",
+    "generate_workload",
+    "run_open_loop",
+    "CapacityPlan",
+    "plan_capacity",
+    "reconcile_plan",
     "TelemetryBus",
     "TelemetryEvent",
     "NullSink",

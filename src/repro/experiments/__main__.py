@@ -15,7 +15,7 @@ import time
 
 _FAST = [
     "table1", "table2", "fig1", "fig2", "fig3", "fig4", "ablations",
-    "mesh", "mesh-crossover",
+    "mesh", "mesh-crossover", "traffic",
 ]
 _SLOW = [
     "fig5", "table3", "fig6",
@@ -88,6 +88,10 @@ def _render(name: str) -> str:
         from repro.experiments.mesh_crossover import render_mesh_crossover
 
         return render_mesh_crossover()
+    if name == "traffic":
+        from repro.experiments.traffic_exp import render_traffic
+
+        return render_traffic()
     if name == "fewshot":
         from repro.experiments.fewshot import render_fewshot, run_fewshot
 

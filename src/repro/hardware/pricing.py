@@ -1,0 +1,104 @@
+"""Fleet pricing: what a replica-hour costs, per accelerator class.
+
+The capacity planner trades SLO headroom against spend, which needs a
+price on every :class:`~repro.hardware.gpu.GpuSpec` it may deploy. We
+anchor the scale on public allocation pricing for MI250X-class nodes
+(cloud HPC list prices put one MI250X package in the low single-digit
+USD/hour; one GCD is half a package) and derive the rest of the catalog
+from the cost model itself: price scales with *achievable* throughput
+(peak FLOP/s × base efficiency), plus a premium/discount reflecting
+that newer, faster parts price above their raw FLOP ratio and older
+parts below it. The absolute dollars are a calibration constant — every
+planner decision and every reconciliation gate depends only on ratios
+and tolerances, exactly like the perf model's time constants.
+
+:data:`DEFAULT_FLEET` is a small heterogeneous catalog (one paper-era
+GCD, one budget part, one premium part) whose price-per-capacity
+ordering is deliberately non-trivial: the cheapest part is not the
+cheapest *per image*, so the planner's optimization is a real choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GpuSpec
+
+__all__ = [
+    "BASE_GCD_USD_PER_HOUR",
+    "GcdPrice",
+    "usd_per_gcd_hour",
+    "DEFAULT_FLEET",
+]
+
+#: Calibration anchor: one MI250X GCD-hour, USD.
+BASE_GCD_USD_PER_HOUR = 1.10
+
+
+def usd_per_gcd_hour(
+    gpu: GpuSpec, premium: float = 1.0, base: float = BASE_GCD_USD_PER_HOUR
+) -> float:
+    """Hourly price of one GCD, scaled from the MI250X anchor.
+
+    Scales ``base`` by the spec's achievable-throughput ratio against
+    the reference GCD (peak × base efficiency — the same quantity the
+    service-time model divides by), times a market ``premium``.
+    """
+    if premium <= 0:
+        raise ValueError(f"premium must be positive, got {premium}")
+    ref = GpuSpec()
+    ratio = (gpu.peak_flops * gpu.base_efficiency) / (
+        ref.peak_flops * ref.base_efficiency
+    )
+    return base * ratio * premium
+
+
+@dataclass(frozen=True)
+class GcdPrice:
+    """One priced accelerator class in the planner's catalog."""
+
+    name: str
+    gpu: GpuSpec
+    usd_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.usd_per_hour <= 0:
+            raise ValueError(
+                f"usd_per_hour must be positive, got {self.usd_per_hour}"
+            )
+
+    @classmethod
+    def from_spec(cls, name: str, gpu: GpuSpec, premium: float = 1.0) -> "GcdPrice":
+        """Price a spec through :func:`usd_per_gcd_hour`."""
+        return cls(name=name, gpu=gpu, usd_per_hour=usd_per_gcd_hour(gpu, premium))
+
+
+#: Heterogeneous default catalog: the paper-era GCD, a budget part at a
+#: sub-linear price, and a premium part at a super-linear price.
+DEFAULT_FLEET: tuple[GcdPrice, ...] = (
+    GcdPrice.from_spec("mi250x-gcd", GpuSpec(), premium=1.0),
+    GcdPrice.from_spec(
+        "budget-gcd",
+        GpuSpec(
+            name="budget-gcd",
+            peak_flops=45.0e12,
+            hbm_bytes=32 * 1024**3,
+            hbm_bw=1.2e12,
+            base_efficiency=0.45,
+            half_saturation_width=800.0,
+        ),
+        premium=0.85,
+    ),
+    GcdPrice.from_spec(
+        "premium-gcd",
+        GpuSpec(
+            name="premium-gcd",
+            peak_flops=190.0e12,
+            hbm_bytes=128 * 1024**3,
+            hbm_bw=3.2e12,
+            base_efficiency=0.55,
+            half_saturation_width=600.0,
+        ),
+        premium=1.30,
+    ),
+)

@@ -12,6 +12,13 @@ event loop that runs them (:mod:`~repro.serve.server`) — all on virtual
 time (:mod:`~repro.serve.clock`), so every concurrency behaviour is a
 replayable function of the workload and seeds.
 
+The open-loop production layer (PR 10) sits on top: seeded multi-tenant
+traffic generation (:mod:`~repro.serve.traffic`), tenant-aware
+admission with priorities, weighted fair queueing and token buckets
+(:mod:`~repro.serve.admission`), SLO-driven fleet autoscaling
+(:mod:`~repro.serve.autoscale`), and cost-aware capacity planning with
+predicted-vs-measured reconciliation (:mod:`~repro.serve.planner`).
+
 Quick start::
 
     from repro.serve import InferenceServer, VirtualClock
@@ -23,9 +30,24 @@ Quick start::
     responses = server.run([(t, image) for t, image in workload])
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    FairRequestQueue,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.serve.autoscale import Autoscaler, AutoscalePolicy, ScaleEvent
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import LRUFeatureCache, image_digest
 from repro.serve.clock import VirtualClock
+from repro.serve.planner import (
+    CapacityPlan,
+    PlanReconciliation,
+    ReconRow,
+    ReplicaType,
+    plan_capacity,
+    reconcile_plan,
+)
 from repro.serve.queue import Request, RequestQueue, Response
 from repro.serve.replica import (
     FixedServiceModel,
@@ -36,7 +58,22 @@ from repro.serve.replica import (
     ReplicaPool,
     ServiceTimeModel,
 )
-from repro.serve.server import InferenceServer, ServerStats, latency_stats
+from repro.serve.server import (
+    InferenceServer,
+    ServerStats,
+    TenantCounts,
+    latency_stats,
+)
+from repro.serve.traffic import (
+    OpenLoopResult,
+    RateProfile,
+    SyntheticEncoder,
+    TenantTraffic,
+    TrafficEvent,
+    generate_workload,
+    run_open_loop,
+    slo_attainment,
+)
 
 __all__ = [
     "VirtualClock",
@@ -55,5 +92,27 @@ __all__ = [
     "ReplicaFaultPlan",
     "InferenceServer",
     "ServerStats",
+    "TenantCounts",
     "latency_stats",
+    "TenantSpec",
+    "TokenBucket",
+    "FairRequestQueue",
+    "AdmissionController",
+    "AutoscalePolicy",
+    "ScaleEvent",
+    "Autoscaler",
+    "RateProfile",
+    "TenantTraffic",
+    "TrafficEvent",
+    "SyntheticEncoder",
+    "generate_workload",
+    "slo_attainment",
+    "OpenLoopResult",
+    "run_open_loop",
+    "ReplicaType",
+    "CapacityPlan",
+    "plan_capacity",
+    "ReconRow",
+    "PlanReconciliation",
+    "reconcile_plan",
 ]

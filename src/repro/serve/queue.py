@@ -30,7 +30,7 @@ __all__ = [
 REQUEST_STATUSES = ("ok", "timeout", "rejected")
 
 #: Why a request was rejected (attribute on ``rejected`` responses).
-REJECT_REASONS = ("queue_full", "replica_failure")
+REJECT_REASONS = ("queue_full", "replica_failure", "rate_limited")
 
 
 @dataclass
@@ -55,6 +55,13 @@ class Request:
     retries:
         How many times the request has been requeued after a replica
         fault. The pool's contract is requeue-once-then-fail.
+    tenant:
+        Admission tenant the request belongs to (``""`` = the default,
+        anonymous tenant — the single-tenant path of PR 5).
+    priority:
+        Admission priority class (0 = highest). Only meaningful under a
+        :class:`~repro.serve.admission.FairRequestQueue`; the plain FIFO
+        ignores it.
     """
 
     req_id: int
@@ -63,6 +70,8 @@ class Request:
     deadline_s: float | None = None
     digest: str = ""
     retries: int = 0
+    tenant: str = ""
+    priority: int = 0
 
     def expired(self, now_s: float) -> bool:
         """True when the deadline has passed at virtual time ``now_s``."""
@@ -75,7 +84,9 @@ class Response:
 
     ``latency_s`` is ``done_s - arrival_s`` in virtual time; for
     ``rejected``/``timeout`` responses it measures time-to-verdict, and
-    ``features`` is ``None``.
+    ``features`` is ``None``. ``tenant`` carries the admission tenant
+    (``""`` on the single-tenant path) so per-tenant breakdowns can be
+    computed from responses alone.
     """
 
     req_id: int
@@ -87,6 +98,7 @@ class Response:
     cache_hit: bool = False
     replica_id: int | None = None
     batch_id: int | None = None
+    tenant: str = ""
     attrs: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:

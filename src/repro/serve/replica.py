@@ -209,19 +209,45 @@ class FixedServiceModel:
 
 
 class Replica:
-    """One encoder replica: real compute, virtual service time."""
+    """One encoder replica: real compute, virtual service time.
 
-    def __init__(self, replica_id: int, model, service):
+    Autoscaling extensions (PR 10): a replica knows when it joined the
+    fleet (``added_at_s``; new replicas start busy until their warm-up
+    window passes), whether it is draining toward retirement
+    (``retiring`` — it finishes its in-flight batch but takes no new
+    ones), and optionally what its device costs (``usd_per_hour``, for
+    the capacity planner's measured-cost ledger).
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        model,
+        service,
+        *,
+        added_at_s: float = 0.0,
+        warmup_s: float = 0.0,
+        usd_per_hour: float = 0.0,
+    ):
         self.replica_id = replica_id
         self.model = model
         self.service = service
-        self.busy_until_s = 0.0
+        self.added_at_s = added_at_s
+        self.busy_until_s = added_at_s + warmup_s
         self.total_busy_s = 0.0
         self.dispatches = 0
+        self.retiring = False
+        self.retired_at_s: float | None = None
+        self.usd_per_hour = usd_per_hour
 
     def free_at(self, now_s: float) -> float:
         """Earliest virtual time this replica can start a new batch."""
         return max(now_s, self.busy_until_s)
+
+    def active_seconds(self, now_s: float) -> float:
+        """Virtual seconds this replica has been part of the fleet."""
+        end = self.retired_at_s if self.retired_at_s is not None else now_s
+        return max(0.0, end - self.added_at_s)
 
     def completion_estimate(self, now_s: float, batch_size: int) -> float:
         """Estimated virtual finish time of a batch dispatched now."""
@@ -265,20 +291,56 @@ class ReplicaPool:
     event loop is single-threaded, so sharing is safe); what differs per
     replica is its service model — heterogeneous pools (e.g. one fast
     and one slow GCD) are supported and exercised in tests.
+
+    The pool is *elastic*: an autoscaler may :meth:`add_replica` (it
+    joins after a warm-up window) or :meth:`begin_retire` one
+    (it drains its in-flight batch, then :meth:`reap` removes it).
+    Dispatch only ever considers active, non-retiring replicas; retired
+    replicas stay on the books for the measured-cost ledger.
     """
 
-    def __init__(self, model, services: list):
+    def __init__(self, model, services: list, prices: list | None = None):
         if not services:
             raise ValueError("pool needs at least one replica service model")
+        if prices is not None and len(prices) != len(services):
+            raise ValueError(
+                f"{len(prices)} prices for {len(services)} services"
+            )
         self.model = model
-        self.replicas = [Replica(i, model, svc) for i, svc in enumerate(services)]
+        self.replicas = [
+            Replica(
+                i,
+                model,
+                svc,
+                usd_per_hour=prices[i] if prices is not None else 0.0,
+            )
+            for i, svc in enumerate(services)
+        ]
+        self.retired: list[Replica] = []
+        self._next_id = len(self.replicas)
 
     def __len__(self) -> int:
         return len(self.replicas)
 
+    @property
+    def n_active(self) -> int:
+        """Replicas accepting new batches (not draining)."""
+        return sum(1 for r in self.replicas if not r.retiring)
+
+    def _dispatchable(self) -> list[Replica]:
+        return [r for r in self.replicas if not r.retiring]
+
     def earliest_free_s(self, now_s: float) -> float:
-        """Virtual time the first replica becomes available."""
-        return min(r.free_at(now_s) for r in self.replicas)
+        """Virtual time the first non-retiring replica becomes available.
+
+        ``inf`` when every replica is draining (transient state the
+        autoscaler resolves at its next tick; the min-replicas bound
+        keeps it from persisting).
+        """
+        candidates = self._dispatchable()
+        if not candidates:
+            return float("inf")
+        return min(r.free_at(now_s) for r in candidates)
 
     def select(self, now_s: float, batch_size: int) -> Replica:
         """The replica with the smallest estimated completion time.
@@ -286,6 +348,66 @@ class ReplicaPool:
         Ties break on replica id, keeping dispatch fully deterministic.
         """
         return min(
-            self.replicas,
+            self._dispatchable(),
             key=lambda r: (r.completion_estimate(now_s, batch_size), r.replica_id),
+        )
+
+    def add_replica(
+        self,
+        service,
+        now_s: float,
+        *,
+        warmup_s: float = 0.0,
+        usd_per_hour: float = 0.0,
+    ) -> Replica:
+        """Grow the fleet by one replica, ready after ``warmup_s``."""
+        replica = Replica(
+            self._next_id,
+            self.model,
+            service,
+            added_at_s=now_s,
+            warmup_s=warmup_s,
+            usd_per_hour=usd_per_hour,
+        )
+        self._next_id += 1
+        self.replicas.append(replica)
+        return replica
+
+    def begin_retire(self, now_s: float) -> Replica | None:
+        """Mark one replica for retirement (drain, don't interrupt).
+
+        Prefers an idle replica; otherwise the one finishing soonest.
+        Among candidates the highest id goes first (newest-out, fully
+        deterministic). Returns the replica, or ``None`` when every
+        replica is already retiring.
+        """
+        candidates = self._dispatchable()
+        if not candidates:
+            return None
+        replica = min(
+            candidates, key=lambda r: (r.free_at(now_s), -r.replica_id)
+        )
+        replica.retiring = True
+        return replica
+
+    def reap(self, now_s: float) -> list[Replica]:
+        """Remove retiring replicas whose in-flight work has drained."""
+        done = [
+            r for r in self.replicas if r.retiring and r.busy_until_s <= now_s
+        ]
+        if done:
+            gone = {r.replica_id for r in done}
+            self.replicas = [
+                r for r in self.replicas if r.replica_id not in gone
+            ]
+            for r in done:
+                r.retired_at_s = now_s
+            self.retired.extend(done)
+        return done
+
+    def fleet_cost_usd(self, now_s: float) -> float:
+        """Measured cost: Σ replica active-seconds × its hourly price."""
+        everyone = list(self.replicas) + list(self.retired)
+        return sum(
+            r.active_seconds(now_s) * r.usd_per_hour / 3600.0 for r in everyone
         )

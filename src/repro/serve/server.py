@@ -20,13 +20,21 @@ loop on virtual time:
   requeue-once-then-fail.
 
 The loop processes one event per iteration in a fixed priority order
-(completions, then arrivals, then dispatch, then expiry sweeps), so the
-entire schedule — every batch composition, every latency, every verdict
-— is a pure function of (workload, configuration). Numerics are
-schedule-independent by construction: whatever batches the policy forms,
-the delivered features are bit-identical to
-:func:`repro.eval.features.extract_features` on the same images (tested
-in ``tests/test_serve``).
+(completions, then arrivals, then autoscale ticks, then dispatch, then
+expiry sweeps), so the entire schedule — every batch composition, every
+latency, every verdict — is a pure function of (workload,
+configuration). Numerics are schedule-independent by construction:
+whatever batches the policy forms, the delivered features are
+bit-identical to :func:`repro.eval.features.extract_features` on the
+same images (tested in ``tests/test_serve``).
+
+Multi-tenant serving (PR 10): an optional
+:class:`~repro.serve.admission.AdmissionController` puts per-tenant
+token buckets and a priority/weighted-fair queue in front of the
+batcher, and an optional :class:`~repro.serve.autoscale.Autoscaler`
+resizes the replica pool from queue-depth/p99 telemetry between
+events. Without either, behaviour is byte-identical to the PR 5
+single-tenant server (pinned by the differential suite).
 
 Telemetry: with a bus attached (ideally sharing the server's virtual
 clock), the loop publishes ``serve.queue_depth``/``serve.batch_size``
@@ -34,7 +42,8 @@ gauges, ``serve.batch``/``serve.infer`` spans, and
 ``serve.submitted``/``serve.served``/``serve.rejected``/``serve.timeout``
 /``serve.cache_hit``/``serve.cache_miss``/``serve.requeued``/
 ``serve.replica_fault`` counters that reconcile exactly:
-``submitted == served + rejected + timed out``.
+``submitted == served + rejected + timed out`` — in aggregate and,
+via the ``tenant=`` attribute, per tenant.
 """
 
 from __future__ import annotations
@@ -45,6 +54,8 @@ import numpy as np
 
 from repro.backend import GemmPool
 from repro.hardware.gpu import GpuSpec
+from repro.serve.admission import AdmissionController
+from repro.serve.autoscale import Autoscaler
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import LRUFeatureCache, image_digest
 from repro.serve.clock import VirtualClock
@@ -58,7 +69,30 @@ from repro.serve.replica import (
 )
 from repro.telemetry import NULL_BUS, TelemetryBus
 
-__all__ = ["ServerStats", "InferenceServer", "latency_stats"]
+__all__ = ["TenantCounts", "ServerStats", "InferenceServer", "latency_stats"]
+
+
+@dataclass
+class TenantCounts:
+    """Per-tenant slice of the conservation ledger."""
+
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+
+    def reconciles(self) -> bool:
+        """True iff submitted == served + rejected + timed_out."""
+        return self.submitted == self.served + self.rejected + self.timed_out
+
+    def to_json(self) -> dict:
+        """The counters as one flat JSON-ready dict."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+        }
 
 
 @dataclass
@@ -75,6 +109,7 @@ class ServerStats:
     served: int = 0
     rejected_queue_full: int = 0
     rejected_replica_failure: int = 0
+    rejected_rate_limited: int = 0
     timed_out: int = 0
     requeued: int = 0
     replica_faults: int = 0
@@ -82,23 +117,40 @@ class ServerStats:
     batched_images: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    tenants: dict = field(default_factory=dict)
 
     @property
     def rejected(self) -> int:
-        """Total rejections (backpressure + post-retry replica failures)."""
-        return self.rejected_queue_full + self.rejected_replica_failure
+        """Total rejections (backpressure + rate limits + post-retry
+        replica failures)."""
+        return (
+            self.rejected_queue_full
+            + self.rejected_replica_failure
+            + self.rejected_rate_limited
+        )
+
+    def tenant(self, name: str) -> TenantCounts:
+        """The (auto-created) per-tenant ledger slice for ``name``."""
+        counts = self.tenants.get(name)
+        if counts is None:
+            counts = self.tenants[name] = TenantCounts()
+        return counts
 
     def reconciles(self) -> bool:
-        """True iff submitted == served + rejected + timed_out."""
-        return self.submitted == self.served + self.rejected + self.timed_out
+        """True iff submitted == served + rejected + timed_out, both in
+        aggregate and within every tenant's slice."""
+        return self.submitted == self.served + self.rejected + self.timed_out and all(
+            t.reconciles() for t in self.tenants.values()
+        )
 
     def to_json(self) -> dict:
-        """All counters as one flat JSON-ready dict."""
-        return {
+        """All counters as one flat JSON-ready dict (plus tenant slices)."""
+        out = {
             "submitted": self.submitted,
             "served": self.served,
             "rejected_queue_full": self.rejected_queue_full,
             "rejected_replica_failure": self.rejected_replica_failure,
+            "rejected_rate_limited": self.rejected_rate_limited,
             "timed_out": self.timed_out,
             "requeued": self.requeued,
             "replica_faults": self.replica_faults,
@@ -107,6 +159,11 @@ class ServerStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         }
+        if self.tenants:
+            out["tenants"] = {
+                name: t.to_json() for name, t in sorted(self.tenants.items())
+            }
+        return out
 
 
 @dataclass
@@ -156,6 +213,23 @@ class InferenceServer:
         Bus for gauges/spans/counters; defaults to the disabled bus.
     fault_plan:
         Deterministic replica-fault schedule for chaos testing.
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`:
+        per-tenant token buckets in front of a priority/weighted-fair
+        queue. When given, the server runs on the controller's
+        :class:`~repro.serve.admission.FairRequestQueue` (its capacity
+        wins; ``queue_capacity`` is ignored). ``None`` keeps the plain
+        single-tenant FIFO — byte-identical to the pre-admission
+        server.
+    autoscaler:
+        Optional :class:`~repro.serve.autoscale.Autoscaler` that
+        grows/shrinks the replica pool between events from queue-depth
+        and windowed-p99 telemetry. ``None`` keeps the fixed fleet.
+    replica_prices:
+        Optional per-replica USD/hour aligned with ``services`` (the
+        capacity planner's :meth:`~repro.serve.planner.CapacityPlan.prices`),
+        feeding the pool's measured-cost ledger. ``None`` prices the
+        initial fleet at zero.
     intra_op_threads:
         Threads for the encoder's blocked GEMMs (shared across replicas
         via one :class:`~repro.backend.GemmPool`). ``1`` (default) keeps
@@ -181,6 +255,9 @@ class InferenceServer:
         telemetry: TelemetryBus | None = None,
         fault_plan: ReplicaFaultPlan | None = None,
         intra_op_threads: int = 1,
+        admission: AdmissionController | None = None,
+        autoscaler: Autoscaler | None = None,
+        replica_prices: list | None = None,
     ):
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -206,8 +283,12 @@ class InferenceServer:
         self.clock = clock if clock is not None else VirtualClock()
         self.telemetry = telemetry if telemetry is not None else NULL_BUS
         self.batcher = MicroBatcher(max_batch_size, max_wait_s)
-        self.queue = RequestQueue(queue_capacity)
-        self.pool = ReplicaPool(model, services)
+        self.admission = admission
+        self.queue = (
+            admission.queue if admission is not None else RequestQueue(queue_capacity)
+        )
+        self.autoscaler = autoscaler
+        self.pool = ReplicaPool(model, services, prices=replica_prices)
         # All replicas share the model object and the event loop is
         # single-threaded, so one GEMM pool threads every replica's
         # encoder. Thread count is part of the numerical configuration
@@ -243,14 +324,24 @@ class InferenceServer:
 
     # -- admission -----------------------------------------------------------
 
+    def _tenant_attrs(self, tenant: str) -> dict:
+        """Counter attrs for one tenant (empty on the anonymous path,
+        keeping single-tenant event streams byte-stable)."""
+        return {"tenant": tenant} if tenant else {}
+
     def submit(
-        self, image: np.ndarray, deadline_s: float | None = None
+        self,
+        image: np.ndarray,
+        deadline_s: float | None = None,
+        tenant: str = "",
     ) -> int:
         """Admit one image at the current virtual time; returns its req_id.
 
-        The verdict may be immediate (cache hit -> ``ok``; full queue ->
-        ``rejected``); otherwise the request waits for the batcher.
-        ``deadline_s`` is an *absolute* virtual time.
+        The verdict may be immediate (rate-limited or full queue ->
+        ``rejected``; cache hit -> ``ok``); otherwise the request waits
+        for the batcher. ``deadline_s`` is an *absolute* virtual time;
+        ``tenant`` selects the admission lane (priority, weight, rate
+        limit) when an :class:`AdmissionController` is attached.
         """
         if image.ndim != 3:
             raise ValueError(f"image must be (C, H, W), got {image.shape}")
@@ -262,16 +353,38 @@ class InferenceServer:
         req_id = self._next_req_id
         self._next_req_id += 1
         self.stats.submitted += 1
-        self.telemetry.counter("serve.submitted")
+        self.stats.tenant(tenant).submitted += 1
+        tattrs = self._tenant_attrs(tenant)
+        self.telemetry.counter("serve.submitted", **tattrs)
+        priority = 0
+        if self.admission is not None:
+            priority = self.admission.priority_of(tenant)
+            reason = self.admission.admit_reason(tenant, now)
+            if reason is not None:
+                self.stats.rejected_rate_limited += 1
+                self.stats.tenant(tenant).rejected += 1
+                self.telemetry.counter("serve.rejected", reason=reason, **tattrs)
+                self._finish(
+                    Response(
+                        req_id=req_id,
+                        status="rejected",
+                        arrival_s=now,
+                        done_s=now,
+                        reason=reason,
+                        tenant=tenant,
+                    )
+                )
+                return req_id
         digest = ""
         if self.cache is not None:
             digest = image_digest(image)
             row = self.cache.get(digest)
             if row is not None:
                 self.stats.cache_hits += 1
-                self.telemetry.counter("serve.cache_hit")
+                self.telemetry.counter("serve.cache_hit", **tattrs)
                 self.stats.served += 1
-                self.telemetry.counter("serve.served")
+                self.stats.tenant(tenant).served += 1
+                self.telemetry.counter("serve.served", **tattrs)
                 self._finish(
                     Response(
                         req_id=req_id,
@@ -280,21 +393,25 @@ class InferenceServer:
                         done_s=now,
                         features=row,
                         cache_hit=True,
+                        tenant=tenant,
                     )
                 )
                 return req_id
             self.stats.cache_misses += 1
-            self.telemetry.counter("serve.cache_miss")
+            self.telemetry.counter("serve.cache_miss", **tattrs)
         request = Request(
             req_id=req_id,
             image=image,
             arrival_s=now,
             deadline_s=deadline_s,
             digest=digest,
+            tenant=tenant,
+            priority=priority,
         )
         if not self.queue.push(request):
             self.stats.rejected_queue_full += 1
-            self.telemetry.counter("serve.rejected", reason="queue_full")
+            self.stats.tenant(tenant).rejected += 1
+            self.telemetry.counter("serve.rejected", reason="queue_full", **tattrs)
             self._finish(
                 Response(
                     req_id=req_id,
@@ -302,6 +419,7 @@ class InferenceServer:
                     arrival_s=now,
                     done_s=now,
                     reason="queue_full",
+                    tenant=tenant,
                 )
             )
             return req_id
@@ -313,18 +431,24 @@ class InferenceServer:
     def run(self, workload) -> list[Response]:
         """Serve a timed workload to completion; returns its responses.
 
-        ``workload`` is a sequence of ``(arrival_s, image)`` or
-        ``(arrival_s, image, deadline_s)`` tuples with non-decreasing
-        arrival times (absolute virtual seconds, not before the clock's
-        current time). The loop drains everything — queue and in-flight
-        batches included — and returns this workload's responses sorted
-        by request id.
+        ``workload`` is a sequence of ``(arrival_s, image)``,
+        ``(arrival_s, image, deadline_s)``, or
+        ``(arrival_s, image, deadline_s, tenant)`` tuples with
+        non-decreasing arrival times (absolute virtual seconds, not
+        before the clock's current time). The loop drains everything —
+        queue and in-flight batches included — and returns this
+        workload's responses sorted by request id.
         """
         arrivals = []
         for item in workload:
-            t, image, deadline = item if len(item) == 3 else (*item, None)
-            arrivals.append((float(t), image, deadline))
-        for (t0, _, _), (t1, _, _) in zip(arrivals, arrivals[1:]):
+            if len(item) == 2:
+                t, image, deadline, tenant = *item, None, ""
+            elif len(item) == 3:
+                t, image, deadline, tenant = *item, ""
+            else:
+                t, image, deadline, tenant = item
+            arrivals.append((float(t), image, deadline, tenant))
+        for (t0, *_), (t1, *_) in zip(arrivals, arrivals[1:]):
             if t1 < t0:
                 raise ValueError(f"arrival times must be non-decreasing ({t1} < {t0})")
         if arrivals and arrivals[0][0] < self.clock.now():
@@ -334,6 +458,19 @@ class InferenceServer:
         first_new = len(self.responses)
         self._loop(arrivals)
         return sorted(self.responses[first_new:], key=lambda r: r.req_id)
+
+    def run_traffic(self, events) -> list[Response]:
+        """Serve a generated open-loop workload to completion.
+
+        ``events`` is a time-ordered list of
+        :class:`~repro.serve.traffic.TrafficEvent` (the output of
+        :func:`~repro.serve.traffic.generate_workload`); each event's
+        tenant rides into :meth:`submit`, so admission and the per-tenant
+        ledger see the same stream the generator drew.
+        """
+        return self.run(
+            [(ev.t_s, ev.image, ev.deadline_s, ev.tenant) for ev in events]
+        )
 
     def drain(self) -> list[Response]:
         """Run the loop with no new arrivals until queue and replicas are idle."""
@@ -355,9 +492,13 @@ class InferenceServer:
             if self._deliver_due(t):
                 continue
             if t_arr is not None and t_arr <= t:
-                _, image, deadline = arrivals[i]
+                _, image, deadline, tenant = arrivals[i]
                 i += 1
-                self.submit(image, deadline_s=deadline)
+                self.submit(image, deadline_s=deadline, tenant=tenant)
+                continue
+            if self.autoscaler is not None and self.autoscaler.tick(
+                t, len(self.queue), self.pool, self.telemetry
+            ):
                 continue
             if self._dispatch_due(t):
                 continue
@@ -380,6 +521,11 @@ class InferenceServer:
         deadline = self.queue.min_deadline_s()
         if deadline is not None:
             candidates.append(max(deadline, now))
+        if self.autoscaler is not None:
+            # Ticks only matter while the loop is live; the loop exits
+            # (and ticking stops) once queue, arrivals and flight are
+            # all drained.
+            candidates.append(max(self.autoscaler.next_eval_s(), now))
         return min(candidates)
 
     # -- event handlers ------------------------------------------------------
@@ -482,12 +628,14 @@ class InferenceServer:
             row = batch.features[i]
             if self.cache is not None and req.digest:
                 self.cache.put(req.digest, row)
+            tattrs = self._tenant_attrs(req.tenant)
             # A positive service window means finish > dispatch, so only
             # requests dispatched strictly before their deadline can
             # still make it; late completions are honest timeouts.
             if req.deadline_s is not None and done > req.deadline_s:
                 self.stats.timed_out += 1
-                self.telemetry.counter("serve.timeout", where="inflight")
+                self.stats.tenant(req.tenant).timed_out += 1
+                self.telemetry.counter("serve.timeout", where="inflight", **tattrs)
                 self._finish(
                     Response(
                         req_id=req.req_id,
@@ -496,11 +644,13 @@ class InferenceServer:
                         done_s=done,
                         replica_id=batch.replica.replica_id,
                         batch_id=batch.batch_id,
+                        tenant=req.tenant,
                     )
                 )
                 continue
             self.stats.served += 1
-            self.telemetry.counter("serve.served")
+            self.stats.tenant(req.tenant).served += 1
+            self.telemetry.counter("serve.served", **tattrs)
             self._finish(
                 Response(
                     req_id=req.req_id,
@@ -510,6 +660,7 @@ class InferenceServer:
                     features=row.copy(),
                     replica_id=batch.replica.replica_id,
                     batch_id=batch.batch_id,
+                    tenant=req.tenant,
                 )
             )
 
@@ -519,14 +670,18 @@ class InferenceServer:
         # keep their place in the FIFO; a request that already burned
         # its retry is rejected (requeue-once-then-fail).
         for req in reversed(batch.requests):
+            tattrs = self._tenant_attrs(req.tenant)
             if req.retries == 0:
                 req.retries = 1
                 self.queue.push_front(req)
                 self.stats.requeued += 1
-                self.telemetry.counter("serve.requeued")
+                self.telemetry.counter("serve.requeued", **tattrs)
             else:
                 self.stats.rejected_replica_failure += 1
-                self.telemetry.counter("serve.rejected", reason="replica_failure")
+                self.stats.tenant(req.tenant).rejected += 1
+                self.telemetry.counter(
+                    "serve.rejected", reason="replica_failure", **tattrs
+                )
                 self._finish(
                     Response(
                         req_id=req.req_id,
@@ -536,6 +691,7 @@ class InferenceServer:
                         reason="replica_failure",
                         replica_id=batch.replica.replica_id,
                         batch_id=batch.batch_id,
+                        tenant=req.tenant,
                     )
                 )
         self.telemetry.gauge("serve.queue_depth", len(self.queue))
@@ -545,13 +701,17 @@ class InferenceServer:
         expired = self.queue.remove_expired(now)
         for req in expired:
             self.stats.timed_out += 1
-            self.telemetry.counter("serve.timeout", where="queued")
+            self.stats.tenant(req.tenant).timed_out += 1
+            self.telemetry.counter(
+                "serve.timeout", where="queued", **self._tenant_attrs(req.tenant)
+            )
             self._finish(
                 Response(
                     req_id=req.req_id,
                     status="timeout",
                     arrival_s=req.arrival_s,
                     done_s=max(now, req.deadline_s),
+                    tenant=req.tenant,
                 )
             )
         if expired:
@@ -565,13 +725,23 @@ class InferenceServer:
             )
         self._by_id[response.req_id] = response
         self.responses.append(response)
+        # Feed the autoscaler's p99 window: serves and timeouts carry a
+        # real time-to-verdict; instant door rejections would read as
+        # zero latency and mask the very overload that caused them.
+        if self.autoscaler is not None and response.status in ("ok", "timeout"):
+            self.autoscaler.observe(response.latency_s)
 
 
-def latency_stats(responses: list[Response]) -> dict:
-    """p50/p99/mean/max latency (ms, virtual) over the ``ok`` responses."""
-    lat = np.array([r.latency_s for r in responses if r.status == "ok"], dtype=float)
+def _latency_block(lat: np.ndarray) -> dict:
+    """The aggregate latency keys over one set of ok-latencies."""
     if lat.size == 0:
-        return {"n_ok": 0, "p50_ms": None, "p99_ms": None, "mean_ms": None, "max_ms": None}
+        return {
+            "n_ok": 0,
+            "p50_ms": None,
+            "p99_ms": None,
+            "mean_ms": None,
+            "max_ms": None,
+        }
     return {
         "n_ok": int(lat.size),
         "p50_ms": float(np.percentile(lat, 50) * 1e3),
@@ -582,3 +752,31 @@ def latency_stats(responses: list[Response]) -> dict:
         "mean_ms": float(lat.mean() * 1e3),
         "max_ms": float(lat.max() * 1e3),
     }
+
+
+def latency_stats(responses: list[Response]) -> dict:
+    """p50/p99/mean/max latency (ms, virtual) over the ``ok`` responses.
+
+    The aggregate keys are unchanged from the single-tenant server; when
+    any response carries a tenant, a ``"tenants"`` key is added mapping
+    each tenant name to the same block computed over that tenant's ok
+    responses (sorted by name, so the dict renders deterministically).
+    """
+    lat = np.array([r.latency_s for r in responses if r.status == "ok"], dtype=float)
+    out = _latency_block(lat)
+    tenants = sorted({r.tenant for r in responses if r.tenant})
+    if tenants:
+        out["tenants"] = {
+            name: _latency_block(
+                np.array(
+                    [
+                        r.latency_s
+                        for r in responses
+                        if r.status == "ok" and r.tenant == name
+                    ],
+                    dtype=float,
+                )
+            )
+            for name in tenants
+        }
+    return out

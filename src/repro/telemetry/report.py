@@ -87,6 +87,7 @@ class RunReport:
     spans: dict[str, SpanAgg] = field(default_factory=dict)
     axis_spans: dict[str, SpanAgg] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
+    tenant_counters: dict[str, dict[str, float]] = field(default_factory=dict)
     gauges: dict[str, GaugeAgg] = field(default_factory=dict)
     n_events: int = 0
 
@@ -108,6 +109,13 @@ class RunReport:
                     ).add(e)
             elif e.kind == "counter":
                 report.counters[e.name] = report.counters.get(e.name, 0.0) + e.value
+                # The serving door tags multi-tenant counters with the
+                # tenant name; fold a second grouping (the axis_spans
+                # pattern) so per-tenant ledgers come from the bus.
+                tenant = e.attrs.get("tenant")
+                if tenant is not None:
+                    bucket = report.tenant_counters.setdefault(str(tenant), {})
+                    bucket[e.name] = bucket.get(e.name, 0.0) + e.value
             elif e.kind == "gauge":
                 report.gauges.setdefault(e.name, GaugeAgg(e.name)).add(e)
             else:
@@ -138,6 +146,15 @@ class RunReport:
         """Collective invocations tagged with one mesh axis."""
         agg = self.axis_spans.get(axis)
         return agg.count if agg is not None else 0
+
+    def tenant_counter(self, tenant: str, name: str) -> float:
+        """One tenant's share of counter ``name`` (0.0 when untagged).
+
+        Per-tenant shares never exceed the aggregate:
+        ``sum_t tenant_counter(t, n) <= counters[n]`` — anonymous
+        (untagged) traffic accounts for the remainder.
+        """
+        return self.tenant_counters.get(tenant, {}).get(name, 0.0)
 
     def untagged_comm_bytes(self) -> float:
         """``comm.`` span bytes carrying no ``axis=`` tag.

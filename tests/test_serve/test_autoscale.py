@@ -1,0 +1,221 @@
+"""Unit tests for the SLO-driven autoscaler and the elastic replica pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    Autoscaler,
+    AutoscalePolicy,
+    FixedServiceModel,
+    InferenceServer,
+    RateProfile,
+    ReplicaPool,
+    TenantSpec,
+    TenantTraffic,
+    VirtualClock,
+    run_open_loop,
+)
+from repro.telemetry import NULL_BUS, RecordingSink, TelemetryBus
+
+from tests.test_serve.conftest import StubEncoder
+
+
+def _policy(**kw):
+    defaults = dict(
+        min_replicas=1,
+        max_replicas=4,
+        interval_s=0.1,
+        slo_s=0.2,
+        high_backlog=4.0,
+        low_backlog=1.0,
+        up_cooldown_s=0.2,
+        down_cooldown_s=0.4,
+        warmup_s=0.05,
+    )
+    defaults.update(kw)
+    return AutoscalePolicy(**defaults)
+
+
+def _autoscaler(policy=None, usd_per_hour=0.0):
+    return Autoscaler(
+        policy if policy is not None else _policy(),
+        lambda: FixedServiceModel(100.0),
+        usd_per_hour=usd_per_hour,
+    )
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kw, match",
+        [
+            (dict(min_replicas=0), "min_replicas"),
+            (dict(max_replicas=0), "max_replicas"),
+            (dict(interval_s=0.0), "interval_s"),
+            (dict(slo_s=0.0), "slo_s"),
+            (dict(low_backlog=9.0, high_backlog=4.0), "low_backlog"),
+            (dict(down_slo_fraction=0.0), "down_slo_fraction"),
+            (dict(step=0), "step"),
+            (dict(up_cooldown_s=-1.0), "cooldown"),
+            (dict(warmup_s=-1.0), "warmup_s"),
+            (dict(window=0), "window"),
+        ],
+    )
+    def test_bad_policies_rejected(self, kw, match):
+        with pytest.raises(ValueError, match=match):
+            _policy(**kw)
+
+
+class TestElasticPool:
+    def _pool(self, n=1):
+        return ReplicaPool(StubEncoder(), [FixedServiceModel(100.0)] * n)
+
+    def test_add_replica_warms_up_before_dispatch(self):
+        pool = self._pool()
+        replica = pool.add_replica(
+            FixedServiceModel(100.0), 1.0, warmup_s=0.5, usd_per_hour=2.0
+        )
+        assert replica.replica_id == 1
+        assert replica.busy_until_s == pytest.approx(1.5)
+        assert pool.n_active == 2
+
+    def test_begin_retire_drains_and_reap_removes(self):
+        pool = self._pool(2)
+        victim = pool.begin_retire(0.0)
+        # Newest idle replica goes first; it no longer takes dispatches.
+        assert victim.replica_id == 1 and victim.retiring
+        assert pool.n_active == 1
+        assert pool.select(0.0, 1).replica_id == 0
+        gone = pool.reap(0.0)
+        assert [r.replica_id for r in gone] == [1]
+        assert len(pool.replicas) == 1 and len(pool.retired) == 1
+        assert pool.retired[0].retired_at_s == 0.0
+
+    def test_reap_waits_for_inflight_work(self):
+        pool = self._pool(2)
+        # Both busy: retirement picks the one finishing soonest and
+        # drains it instead of interrupting the in-flight batch.
+        pool.replicas[0].busy_until_s = 5.0
+        pool.replicas[1].busy_until_s = 3.0
+        victim = pool.begin_retire(0.0)
+        assert victim.replica_id == 1
+        assert pool.reap(1.0) == []  # still draining
+        assert [r.replica_id for r in pool.reap(3.0)] == [1]
+
+    def test_earliest_free_is_inf_when_all_draining(self):
+        pool = self._pool(1)
+        pool.begin_retire(0.0)
+        assert pool.earliest_free_s(0.0) == float("inf")
+        assert pool.begin_retire(0.0) is None
+
+    def test_fleet_cost_ledger(self):
+        pool = ReplicaPool(
+            StubEncoder(), [FixedServiceModel(100.0)], prices=[3.6]
+        )
+        pool.add_replica(FixedServiceModel(100.0), 0.0, usd_per_hour=7.2)
+        pool.begin_retire(0.0)
+        pool.reap(1800.0)  # the priced add retires after half an hour
+        # 1 h of 3.6 + 0.5 h of 7.2 = 7.2 USD.
+        assert pool.fleet_cost_usd(3600.0) == pytest.approx(7.2)
+
+    def test_price_list_must_align(self):
+        with pytest.raises(ValueError, match="prices"):
+            ReplicaPool(StubEncoder(), [FixedServiceModel(100.0)], prices=[1.0, 2.0])
+
+
+class TestAutoscalerTicks:
+    def test_scales_up_on_backlog_and_respects_max(self):
+        auto = _autoscaler(_policy(max_replicas=2, step=5))
+        pool = ReplicaPool(StubEncoder(), [FixedServiceModel(100.0)])
+        bus = TelemetryBus(RecordingSink())
+        assert not auto.tick(0.05, queue_depth=50, pool=pool, telemetry=bus)
+        assert auto.tick(0.1, queue_depth=50, pool=pool, telemetry=bus)
+        # step=5 clamps to the fleet bound.
+        assert pool.n_active == 2
+        assert [e.action for e in auto.events] == ["up"]
+        gauges = {e.name: e.value for e in bus.sink.events if e.kind == "gauge"}
+        assert gauges["serve.replicas"] == 2
+        assert gauges["serve.autoscale_backlog"] == 50.0
+
+    def test_up_cooldown_suppresses_thrash(self):
+        auto = _autoscaler(_policy(up_cooldown_s=1.0))
+        pool = ReplicaPool(StubEncoder(), [FixedServiceModel(100.0)])
+        auto.tick(0.1, 50, pool, NULL_BUS)
+        auto.tick(0.2, 50, pool, NULL_BUS)  # inside the cooldown
+        assert pool.n_active == 2
+        auto.tick(1.2, 50, pool, NULL_BUS)  # cooldown expired
+        assert pool.n_active == 3
+
+    def test_slow_p99_triggers_scale_up_even_without_backlog(self):
+        auto = _autoscaler(_policy(slo_s=0.2))
+        pool = ReplicaPool(StubEncoder(), [FixedServiceModel(100.0)])
+        for _ in range(10):
+            auto.observe(0.5)
+        assert auto.window_p99_s() == pytest.approx(0.5)
+        auto.tick(0.1, 0, pool, NULL_BUS)
+        assert pool.n_active == 2
+
+    def test_scales_down_only_when_calm_and_cooled(self):
+        auto = _autoscaler(_policy(down_cooldown_s=0.4))
+        pool = ReplicaPool(StubEncoder(), [FixedServiceModel(100.0)] * 3)
+        for _ in range(10):
+            auto.observe(0.01)  # far under the SLO
+        auto.tick(0.1, 0, pool, NULL_BUS)
+        assert pool.n_active == 2  # one retirement
+        auto.tick(0.2, 0, pool, NULL_BUS)  # inside down cooldown
+        assert pool.n_active == 2
+        auto.tick(0.6, 0, pool, NULL_BUS)
+        assert pool.n_active == 1  # respects min_replicas from here on
+        auto.tick(1.2, 0, pool, NULL_BUS)
+        assert pool.n_active == 1
+
+    def test_tick_grid_is_anchored_to_policy(self):
+        auto = _autoscaler(_policy(interval_s=0.5))
+        pool = ReplicaPool(StubEncoder(), [FixedServiceModel(100.0)])
+        # Overshooting the tick instant by 0.74 s consumes every due
+        # tick and re-anchors on the grid, not on the overshoot.
+        assert auto.tick(1.24, 0, pool, NULL_BUS)
+        assert auto.next_eval_s() == pytest.approx(1.5)
+        assert not auto.tick(1.4, 0, pool, NULL_BUS)
+
+    def test_window_p99_empty_is_zero(self):
+        assert _autoscaler().window_p99_s() == 0.0
+
+
+class TestAutoscaledServing:
+    def test_flash_crowd_grows_then_shrinks_the_fleet(self):
+        spec = TenantSpec("prod")
+        traffic = TenantTraffic(
+            spec,
+            RateProfile(
+                base_rate_ips=40.0,
+                flash_at_s=1.0,
+                flash_magnitude=6.0,
+                flash_ramp_s=0.3,
+                flash_hold_s=1.0,
+            ),
+            deadline_s=2.0,
+            image_shape=(1, 2, 2),
+        )
+        policy = _policy(max_replicas=6, high_backlog=6.0)
+        auto = Autoscaler(policy, lambda: FixedServiceModel(60.0), usd_per_hour=1.0)
+        clock = VirtualClock()
+        server = InferenceServer(
+            StubEncoder(),
+            services=[FixedServiceModel(60.0)],
+            max_batch_size=4,
+            queue_capacity=512,
+            clock=clock,
+            autoscaler=auto,
+        )
+        result = run_open_loop(server, [traffic], horizon_s=6.0, seed=3, slo_s=0.2)
+        assert server.stats.reconciles()
+        ups = [e for e in auto.events if e.action == "up"]
+        downs = [e for e in auto.events if e.action == "down"]
+        # The flash forced growth; the calm after forced decay.
+        assert ups and downs
+        assert max(e.n_replicas for e in auto.events) > 1
+        assert result.max_replicas > 1
+        assert result.scale_events == len(auto.events)
+        # Added replicas were priced; the run measured real spend.
+        assert result.measured_cost_usd > 0.0

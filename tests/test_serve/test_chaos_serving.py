@@ -202,3 +202,159 @@ class TestSeededChaosCampaign:
             ]
 
         assert one_run() == one_run()
+
+
+class TestChaosDuringAutoscale:
+    """Seeded replica faults firing while the autoscaler is mid-transition.
+
+    Replicas appear (warm-up) and drain away (retirement) *while* the
+    fault plan is killing batches; the ledger must still reconcile,
+    every arrival must get exactly one verdict (no silent drop), and no
+    request may be served twice (no double-serve) — the same invariant
+    the elastic-training chaos campaign pins, on the serving side.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_faults_during_transitions_reconcile(self, stub_model, seed):
+        from repro.serve import (
+            AdmissionController,
+            Autoscaler,
+            AutoscalePolicy,
+            RateProfile,
+            TenantSpec,
+            TenantTraffic,
+            generate_workload,
+        )
+        from repro.telemetry import RunReport
+
+        specs = [
+            TenantSpec("live", weight=2.0, priority=0),
+            TenantSpec("batch", weight=1.0, priority=1),
+        ]
+        traffics = [
+            TenantTraffic(
+                specs[0],
+                RateProfile(
+                    base_rate_ips=80.0,
+                    flash_at_s=0.5,
+                    flash_magnitude=4.0,
+                    flash_ramp_s=0.2,
+                    flash_hold_s=0.6,
+                ),
+                deadline_s=1.0,
+                working_set=4,
+                image_shape=(1, 2, 2),
+            ),
+            TenantTraffic(
+                specs[1],
+                RateProfile(base_rate_ips=30.0),
+                working_set=4,
+                image_shape=(1, 2, 2),
+            ),
+        ]
+        autoscaler = Autoscaler(
+            AutoscalePolicy(
+                min_replicas=1,
+                max_replicas=4,
+                interval_s=0.1,
+                slo_s=0.1,
+                high_backlog=4.0,
+                up_cooldown_s=0.15,
+                down_cooldown_s=0.3,
+                warmup_s=0.05,
+            ),
+            lambda: FixedServiceModel(60.0),
+            usd_per_hour=1.0,
+        )
+        server, bus = _server(
+            stub_model,
+            fault_plan=ReplicaFaultPlan.seeded(
+                seed, n_faults=5, n_replicas=4, max_dispatch_index=6
+            ),
+            services=[FixedServiceModel(60.0)],
+            max_batch_size=4,
+            queue_capacity=256,
+            stall_timeout_s=0.08,
+            admission=AdmissionController(specs, capacity=256),
+            autoscaler=autoscaler,
+        )
+        events = generate_workload(traffics, horizon_s=3.0, seed=seed)
+        responses = server.run_traffic(events)
+
+        # The fleet actually moved while faults were firing.
+        assert autoscaler.events, "scenario must exercise autoscale transitions"
+        # No silent drop: one verdict per arrival; no double-serve:
+        # req_ids unique (the server hard-errors on a second verdict).
+        assert len(responses) == len(events)
+        assert len({r.req_id for r in responses}) == len(events)
+        # The one invariant chaos must never break — per tenant too.
+        s = server.stats
+        assert s.reconciles()
+        for spec in specs:
+            assert s.tenant(spec.name).reconciles()
+        # Bus slices agree with the books.
+        report = RunReport.from_events(bus.sink.events)
+        for spec in specs:
+            slice_ = report.tenant_counters.get(spec.name, {})
+            assert slice_.get("serve.submitted", 0) == (
+                slice_.get("serve.served", 0)
+                + slice_.get("serve.rejected", 0)
+                + slice_.get("serve.timeout", 0)
+            )
+
+    def test_chaos_autoscale_campaign_replays_bit_identically(self, stub_model):
+        from repro.serve import (
+            AdmissionController,
+            Autoscaler,
+            AutoscalePolicy,
+            RateProfile,
+            TenantSpec,
+            TenantTraffic,
+            generate_workload,
+        )
+
+        def one_run():
+            spec = TenantSpec("live")
+            traffic = TenantTraffic(
+                spec,
+                RateProfile(
+                    base_rate_ips=90.0,
+                    flash_at_s=0.4,
+                    flash_magnitude=3.0,
+                    flash_ramp_s=0.2,
+                    flash_hold_s=0.5,
+                ),
+                deadline_s=0.8,
+                working_set=4,
+                image_shape=(1, 2, 2),
+            )
+            autoscaler = Autoscaler(
+                AutoscalePolicy(
+                    min_replicas=1,
+                    max_replicas=3,
+                    interval_s=0.1,
+                    slo_s=0.1,
+                    up_cooldown_s=0.15,
+                    down_cooldown_s=0.3,
+                    warmup_s=0.05,
+                ),
+                lambda: FixedServiceModel(70.0),
+            )
+            server, _ = _server(
+                stub_model,
+                fault_plan=ReplicaFaultPlan.seeded(9, n_faults=4, n_replicas=3),
+                services=[FixedServiceModel(70.0)],
+                max_batch_size=4,
+                queue_capacity=128,
+                stall_timeout_s=0.08,
+                admission=AdmissionController([spec], capacity=128),
+                autoscaler=autoscaler,
+            )
+            events = generate_workload([traffic], horizon_s=2.0, seed=21)
+            resp = server.run_traffic(events)
+            return (
+                [(r.req_id, r.status, r.done_s, r.replica_id, r.reason) for r in resp],
+                autoscaler.events,
+            )
+
+        assert one_run() == one_run()

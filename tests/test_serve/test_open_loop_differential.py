@@ -1,0 +1,126 @@
+"""Differential suite: the multi-tenant machinery must be a no-op when
+it isn't exercised.
+
+Three pins, all byte-exact:
+
+- ``run_traffic`` on generated events == ``run`` on the equivalent
+  tuples (the open-loop entry point adds no behaviour of its own);
+- a single-tenant ``AdmissionController`` (one default spec, no rate
+  limit) produces the *identical schedule* to the plain bounded FIFO —
+  same verdicts, same timestamps, same batches, same feature bytes;
+- tenant labels are bookkeeping only: the same workload with and
+  without a tenant name schedules identically.
+
+Fixed-rate open-loop traffic, autoscaling disabled, one replica — the
+regime where PR 5's single-tenant server is the specification.
+"""
+
+from __future__ import annotations
+
+from repro.serve import (
+    AdmissionController,
+    FixedServiceModel,
+    InferenceServer,
+    RateProfile,
+    TenantSpec,
+    TenantTraffic,
+    VirtualClock,
+    generate_workload,
+)
+
+from tests.test_serve.conftest import StubEncoder
+
+
+def _events(name="solo", rate=120.0, deadline_s=0.2, horizon_s=2.0, seed=13):
+    traffic = TenantTraffic(
+        TenantSpec(name),
+        RateProfile(base_rate_ips=rate),
+        deadline_s=deadline_s,
+        working_set=4,
+        image_shape=(1, 2, 2),
+    )
+    return generate_workload([traffic], horizon_s=horizon_s, seed=seed)
+
+
+def _server(admission=None, capacity=16):
+    return InferenceServer(
+        StubEncoder(),
+        services=[FixedServiceModel(150.0)],
+        max_batch_size=4,
+        max_wait_s=0.005,
+        queue_capacity=capacity,
+        cache_capacity=8,
+        clock=VirtualClock(),
+        admission=admission,
+    )
+
+
+def _fingerprint(responses, with_tenant=True):
+    return [
+        (
+            r.req_id,
+            r.status,
+            r.arrival_s,
+            r.done_s,
+            r.reason,
+            r.replica_id,
+            r.batch_id,
+            r.cache_hit,
+            r.tenant if with_tenant else None,
+            r.features.tobytes() if r.features is not None else None,
+        )
+        for r in responses
+    ]
+
+
+class TestOpenLoopDifferential:
+    def test_run_traffic_equals_run_on_equivalent_tuples(self):
+        events = _events()
+        resp_traffic = _server().run_traffic(events)
+        resp_run = _server().run(
+            [(e.t_s, e.image, e.deadline_s, e.tenant) for e in events]
+        )
+        assert _fingerprint(resp_traffic) == _fingerprint(resp_run)
+
+    def test_single_tenant_admission_is_byte_identical_to_plain_fifo(self):
+        # A one-spec FairRequestQueue must order exactly like the FIFO:
+        # same capacity, no rate limit, so the only difference is the
+        # queue implementation — which must not be observable.
+        events = _events()
+        plain = _server(capacity=16)
+        fair = _server(
+            admission=AdmissionController([TenantSpec("solo")], capacity=16)
+        )
+        resp_plain = plain.run_traffic(events)
+        resp_fair = fair.run_traffic(events)
+        assert _fingerprint(resp_plain) == _fingerprint(resp_fair)
+        assert plain.stats.to_json() == fair.stats.to_json()
+
+    def test_tenant_label_is_pure_bookkeeping(self):
+        # The same arrivals served anonymously (the PR 5 path: 3-tuples,
+        # no admission) schedule identically to the labelled run —
+        # tenant changes responses' bookkeeping fields only.
+        events = _events()
+        resp_labelled = _server().run_traffic(events)
+        resp_anon = _server().run(
+            [(e.t_s, e.image, e.deadline_s) for e in events]
+        )
+        assert all(r.tenant == "solo" for r in resp_labelled)
+        assert all(r.tenant == "" for r in resp_anon)
+        assert _fingerprint(resp_labelled, with_tenant=False) == _fingerprint(
+            resp_anon, with_tenant=False
+        )
+
+    def test_overload_rejects_identically_at_the_door(self):
+        # Saturate a tiny queue: backpressure verdicts (which request is
+        # rejected, and when) must match between FIFO and single-tenant
+        # admission — rejection order is part of the schedule.
+        events = _events(rate=400.0, deadline_s=None, horizon_s=1.0)
+        plain = _server(capacity=4)
+        fair = _server(
+            admission=AdmissionController([TenantSpec("solo")], capacity=4)
+        )
+        fp_plain = _fingerprint(plain.run_traffic(events))
+        fp_fair = _fingerprint(fair.run_traffic(events))
+        assert fp_plain == fp_fair
+        assert plain.stats.rejected_queue_full > 0

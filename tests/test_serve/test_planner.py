@@ -1,0 +1,218 @@
+"""Unit tests for fleet pricing and cost-aware capacity planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import get_vit_config
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.pricing import (
+    BASE_GCD_USD_PER_HOUR,
+    DEFAULT_FLEET,
+    GcdPrice,
+    usd_per_gcd_hour,
+)
+from repro.serve import (
+    FixedServiceModel,
+    InferenceServer,
+    RateProfile,
+    ReplicaType,
+    SyntheticEncoder,
+    TenantSpec,
+    TenantTraffic,
+    VirtualClock,
+    plan_capacity,
+    reconcile_plan,
+    run_open_loop,
+)
+
+
+def _types():
+    # fast: 400 img/s at 2 $/h; slow: 150 img/s at 1 $/h. Per-image the
+    # fast part is cheaper (0.005 vs 0.0067 $/h per img/s) — a real
+    # trade, not a dominated catalog.
+    return [
+        ReplicaType("fast", FixedServiceModel(400.0), 2.0),
+        ReplicaType("slow", FixedServiceModel(150.0), 1.0),
+    ]
+
+
+class TestPricing:
+    def test_reference_gcd_costs_the_anchor(self):
+        assert usd_per_gcd_hour(GpuSpec()) == pytest.approx(BASE_GCD_USD_PER_HOUR)
+
+    def test_price_scales_with_achievable_throughput(self):
+        ref = GpuSpec()
+        double = GpuSpec(peak_flops=2 * ref.peak_flops)
+        assert usd_per_gcd_hour(double) == pytest.approx(
+            2 * BASE_GCD_USD_PER_HOUR
+        )
+
+    def test_premium_multiplies(self):
+        assert usd_per_gcd_hour(GpuSpec(), premium=1.5) == pytest.approx(
+            1.5 * BASE_GCD_USD_PER_HOUR
+        )
+
+    def test_default_fleet_is_heterogeneous_and_priced(self):
+        names = [p.name for p in DEFAULT_FLEET]
+        assert names == ["mi250x-gcd", "budget-gcd", "premium-gcd"]
+        assert all(p.usd_per_hour > 0 for p in DEFAULT_FLEET)
+        assert len({p.usd_per_hour for p in DEFAULT_FLEET}) == 3
+
+    def test_catalog_builds_service_models_from_encoder(self):
+        types = ReplicaType.catalog(get_vit_config("proxy-base"))
+        assert [t.name for t in types] == [p.name for p in DEFAULT_FLEET]
+        # A priced faster part really is faster in the service model.
+        by_name = {t.name: t for t in types}
+        assert by_name["premium-gcd"].capacity_ips(8) > by_name[
+            "budget-gcd"
+        ].capacity_ips(8)
+
+    def test_invalid_prices_rejected(self):
+        with pytest.raises(ValueError, match="premium"):
+            usd_per_gcd_hour(GpuSpec(), premium=0.0)
+        with pytest.raises(ValueError, match="usd_per_hour"):
+            GcdPrice("x", GpuSpec(), usd_per_hour=0.0)
+
+
+class TestPlanCapacity:
+    def test_picks_the_cheapest_feasible_mix(self):
+        # required = 420/0.7 = 600 img/s. 2×fast = 800 @ 4 $/h wins over
+        # 4×slow = 600 @ 4 $/h (tie on cost → fewer replicas) and any
+        # blend (1×fast + 2×slow = 700 @ 4 $/h, 3 replicas).
+        plan = plan_capacity(_types(), peak_rate_ips=420.0, batch_size=8)
+        assert plan.describe() == "2xfast"
+        assert plan.predicted_cost_per_hour == pytest.approx(4.0)
+        assert plan.predicted_capacity_ips == pytest.approx(800.0)
+        assert plan.n_replicas == 2
+
+    def test_small_load_takes_the_cheap_part(self):
+        # required ≈ 71 img/s: one slow replica suffices at half the cost.
+        plan = plan_capacity(_types(), peak_rate_ips=50.0, batch_size=8)
+        assert plan.describe() == "1xslow"
+        assert plan.predicted_cost_per_hour == pytest.approx(1.0)
+
+    def test_mixed_fleet_when_the_blend_is_cheapest(self):
+        # required = 1000/0.7 ≈ 1428.6. 4×fast = 1600 @ 8 $/h;
+        # 3×fast+2×slow = 1500 @ 8 $/h; 10×slow = 1500 @ 10 $/h;
+        # the tie on cost resolves to the smaller fleet: 4×fast.
+        plan = plan_capacity(_types(), peak_rate_ips=1000.0, batch_size=8)
+        assert plan.predicted_cost_per_hour == pytest.approx(8.0)
+        assert plan.n_replicas == 4
+
+    def test_utilization_respects_headroom(self):
+        plan = plan_capacity(
+            _types(), peak_rate_ips=100.0, utilization_target=0.5
+        )
+        assert plan.predicted_utilization <= 0.5 + 1e-9
+
+    def test_services_and_prices_align(self):
+        plan = plan_capacity(_types(), peak_rate_ips=420.0)
+        assert len(plan.services()) == len(plan.prices()) == plan.n_replicas
+
+    def test_infeasible_forecast_raises(self):
+        with pytest.raises(ValueError, match="needs more than"):
+            plan_capacity(_types(), peak_rate_ips=1e9, max_replicas=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            plan_capacity([], peak_rate_ips=10.0)
+        with pytest.raises(ValueError, match="peak_rate_ips"):
+            plan_capacity(_types(), peak_rate_ips=0.0)
+        with pytest.raises(ValueError, match="utilization_target"):
+            plan_capacity(_types(), peak_rate_ips=10.0, utilization_target=1.5)
+
+
+class TestReconciliation:
+    def _run_planned(self, traffic, plan):
+        server = InferenceServer(
+            SyntheticEncoder(),
+            services=plan.services(),
+            replica_prices=plan.prices(),
+            max_batch_size=plan.batch_size,
+            queue_capacity=1024,
+            clock=VirtualClock(),
+        )
+        return run_open_loop(
+            server, [traffic], horizon_s=20.0, seed=11, slo_s=plan.slo_s
+        )
+
+    def test_planned_fleet_reconciles_against_measured_run(self):
+        profile = RateProfile(
+            base_rate_ips=120.0, diurnal_amplitude=0.2, diurnal_period_s=10.0
+        )
+        traffic = TenantTraffic(
+            TenantSpec("prod"), profile, deadline_s=1.0, image_shape=(1, 2, 2)
+        )
+        plan = plan_capacity(
+            _types(), peak_rate_ips=profile.max_rate(), slo_s=0.25
+        )
+        recon = reconcile_plan(plan, self._run_planned(traffic, plan))
+        assert recon.reconciled
+        assert [r.quantity for r in recon.rows] == [
+            "slo_attainment",
+            "cost_per_hour_usd",
+            "utilization",
+        ]
+        assert "reconciled" in recon.render()
+        assert recon.to_json()["reconciled"] is True
+
+    def test_underprovisioned_fleet_fails_attainment(self):
+        # Plan for a third of the real peak: the measured run must miss
+        # the SLO target and the reconciliation must say DRIFTED.
+        profile = RateProfile(base_rate_ips=450.0)
+        traffic = TenantTraffic(
+            TenantSpec("prod"), profile, deadline_s=0.3, image_shape=(1, 2, 2)
+        )
+        plan = plan_capacity(_types(), peak_rate_ips=150.0, slo_s=0.05)
+        recon = reconcile_plan(plan, self._run_planned(traffic, plan))
+        assert not recon.reconciled
+        assert not recon.rows[0].ok  # attainment is the broken row
+        assert "DRIFTED" in recon.render()
+
+    def test_cost_drift_beyond_tolerance_fails(self):
+        profile = RateProfile(base_rate_ips=100.0)
+        traffic = TenantTraffic(
+            TenantSpec("prod"), profile, deadline_s=1.0, image_shape=(1, 2, 2)
+        )
+        plan = plan_capacity(_types(), peak_rate_ips=profile.max_rate())
+        result = self._run_planned(traffic, plan)
+        strict = reconcile_plan(plan, result, cost_tolerance=0.0)
+        loose = reconcile_plan(plan, result, cost_tolerance=0.10)
+        # The fixed planned fleet measures exactly its predicted cost —
+        # even a zero tolerance reconciles; negative tolerance is invalid.
+        assert strict.reconciled and loose.reconciled
+        with pytest.raises(ValueError, match="cost_tolerance"):
+            reconcile_plan(plan, result, cost_tolerance=-0.1)
+
+    def test_rate_limited_door_rejections_do_not_drift_the_plan(self):
+        # The free tier floods past its bucket: raw attainment tanks,
+        # but the plan was sized for the admitted peak — reconciliation
+        # scores admitted traffic only, and still reconciles.
+        from repro.serve import AdmissionController
+
+        spec = TenantSpec("free", rate_limit=40.0, burst=1.0)
+        traffic = TenantTraffic(
+            spec,
+            RateProfile(base_rate_ips=160.0),
+            deadline_s=1.0,
+            image_shape=(1, 2, 2),
+        )
+        plan = plan_capacity(_types(), peak_rate_ips=40.0, slo_s=0.25)
+        server = InferenceServer(
+            SyntheticEncoder(),
+            services=plan.services(),
+            replica_prices=plan.prices(),
+            max_batch_size=plan.batch_size,
+            queue_capacity=1024,
+            clock=VirtualClock(),
+            admission=AdmissionController([spec], capacity=1024),
+        )
+        result = run_open_loop(
+            server, [traffic], horizon_s=10.0, seed=2, slo_s=plan.slo_s
+        )
+        assert result.rejected > 0
+        assert result.attainment < plan.attainment_target
+        assert result.admitted_attainment > result.attainment
+        recon = reconcile_plan(plan, result)
+        assert recon.reconciled

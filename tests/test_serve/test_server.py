@@ -329,3 +329,38 @@ class TestLatencyStats:
         observed_ms = {r.latency_s * 1e3 for r in responses}
         assert stats["p99_ms"] in observed_ms
         assert stats["p99_ms"] == stats["max_ms"] == 250.0
+
+    def test_empty_responses_guard_has_all_keys_and_no_tenants(self):
+        stats = latency_stats([])
+        assert stats == {
+            "n_ok": 0,
+            "p50_ms": None,
+            "p99_ms": None,
+            "mean_ms": None,
+            "max_ms": None,
+        }
+
+    def test_per_tenant_breakdown_keeps_aggregate_keys(self):
+        from repro.serve.queue import Response
+
+        responses = [
+            Response(req_id=0, status="ok", arrival_s=0.0, done_s=0.010, tenant="a"),
+            Response(req_id=1, status="ok", arrival_s=0.0, done_s=0.030, tenant="a"),
+            Response(req_id=2, status="ok", arrival_s=0.0, done_s=0.020, tenant="b"),
+            Response(
+                req_id=3, status="timeout", arrival_s=0.0, done_s=0.5, tenant="b"
+            ),
+            Response(req_id=4, status="ok", arrival_s=0.0, done_s=0.040),
+        ]
+        stats = latency_stats(responses)
+        # Aggregate keys are exactly the single-tenant ones, over all ok.
+        assert stats["n_ok"] == 4
+        assert stats["max_ms"] == pytest.approx(40.0)
+        assert sorted(stats["tenants"]) == ["a", "b"]
+        assert stats["tenants"]["a"]["n_ok"] == 2
+        assert stats["tenants"]["a"]["max_ms"] == pytest.approx(30.0)
+        # Tenant b's timeout is excluded from its latency block.
+        assert stats["tenants"]["b"]["n_ok"] == 1
+        assert stats["tenants"]["b"]["p99_ms"] == pytest.approx(20.0)
+        # Anonymous responses appear only in the aggregate.
+        assert "" not in stats["tenants"]

@@ -1,0 +1,247 @@
+"""Unit tests for the open-loop traffic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FixedServiceModel,
+    InferenceServer,
+    RateProfile,
+    SyntheticEncoder,
+    TenantSpec,
+    TenantTraffic,
+    VirtualClock,
+    generate_workload,
+    run_open_loop,
+    slo_attainment,
+)
+
+
+def _traffic(name="a", rate=50.0, **kw):
+    profile_kw = {
+        k: kw.pop(k)
+        for k in list(kw)
+        if k
+        in (
+            "diurnal_amplitude",
+            "diurnal_period_s",
+            "flash_at_s",
+            "flash_magnitude",
+            "flash_ramp_s",
+            "flash_hold_s",
+            "virtual_users",
+            "rate_per_user_ips",
+        )
+    }
+    return TenantTraffic(
+        TenantSpec(name),
+        RateProfile(base_rate_ips=rate, **profile_kw),
+        image_shape=(1, 2, 2),
+        **kw,
+    )
+
+
+class TestRateProfile:
+    def test_flat_profile_is_constant(self):
+        p = RateProfile(base_rate_ips=10.0)
+        assert p.rate_at(0.0) == p.rate_at(123.4) == 10.0
+        assert p.max_rate() == 10.0
+
+    def test_virtual_users_scale_without_materializing(self):
+        # A million light users is just a rate — the point of open-loop.
+        p = RateProfile(virtual_users=2_000_000, rate_per_user_ips=5e-5)
+        assert p.base_rate() == pytest.approx(100.0)
+
+    def test_diurnal_cycle_peaks_at_quarter_period(self):
+        p = RateProfile(
+            base_rate_ips=10.0, diurnal_amplitude=0.5, diurnal_period_s=4.0
+        )
+        assert p.rate_at(1.0) == pytest.approx(15.0)
+        assert p.rate_at(3.0) == pytest.approx(5.0)
+        assert p.max_rate() == pytest.approx(15.0)
+
+    def test_flash_crowd_ramps_holds_and_decays(self):
+        p = RateProfile(
+            base_rate_ips=10.0,
+            flash_at_s=1.0,
+            flash_magnitude=3.0,
+            flash_ramp_s=1.0,
+            flash_hold_s=2.0,
+        )
+        assert p.rate_at(0.5) == pytest.approx(10.0)  # before
+        assert p.rate_at(1.5) == pytest.approx(20.0)  # mid-ramp
+        assert p.rate_at(2.5) == pytest.approx(30.0)  # holding
+        assert p.rate_at(4.5) == pytest.approx(20.0)  # mid-decay
+        assert p.rate_at(9.0) == pytest.approx(10.0)  # after
+        assert p.max_rate() == pytest.approx(30.0)
+
+    def test_mean_rate_of_flat_profile(self):
+        assert RateProfile(base_rate_ips=7.0).mean_rate(10.0) == pytest.approx(7.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive rate"):
+            RateProfile()
+
+
+class TestGenerateWorkload:
+    def test_same_seed_same_workload_bytes_included(self):
+        traffics = [_traffic("a", 40.0), _traffic("b", 20.0, process="pareto")]
+        ev_a = generate_workload(traffics, horizon_s=2.0, seed=3)
+        ev_b = generate_workload(traffics, horizon_s=2.0, seed=3)
+        assert len(ev_a) == len(ev_b) > 0
+        for x, y in zip(ev_a, ev_b):
+            assert (x.t_s, x.tenant, x.deadline_s) == (y.t_s, y.tenant, y.deadline_s)
+            assert x.image.tobytes() == y.image.tobytes()
+
+    def test_different_seeds_differ(self):
+        traffics = [_traffic("a", 40.0)]
+        ev_a = generate_workload(traffics, horizon_s=2.0, seed=0)
+        ev_b = generate_workload(traffics, horizon_s=2.0, seed=1)
+        assert [e.t_s for e in ev_a] != [e.t_s for e in ev_b]
+
+    def test_events_are_time_ordered_within_horizon(self):
+        traffics = [_traffic("a", 30.0), _traffic("b", 30.0)]
+        events = generate_workload(traffics, horizon_s=1.5, seed=9)
+        times = [e.t_s for e in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 1.5 for t in times)
+
+    def test_event_count_tracks_offered_rate(self):
+        # Poisson with rate 200 over 5 s: expect 1000 ± a few sigma.
+        events = generate_workload([_traffic("a", 200.0)], horizon_s=5.0, seed=5)
+        assert 850 <= len(events) <= 1150
+
+    def test_pareto_process_is_burstier_than_poisson(self):
+        kw = dict(rate=100.0, working_set=2)
+        po = generate_workload([_traffic("a", **kw)], horizon_s=10.0, seed=2)
+        pa = generate_workload(
+            [_traffic("a", process="pareto", pareto_alpha=1.2, **kw)],
+            horizon_s=10.0,
+            seed=2,
+        )
+        def cv(events):
+            gaps = np.diff([e.t_s for e in events])
+            return gaps.std() / gaps.mean()
+        # Heavy-tailed gaps → higher coefficient of variation.
+        assert cv(pa) > cv(po)
+
+    def test_deadlines_are_absolute_and_offset_by_start(self):
+        traffic = _traffic("a", 50.0, deadline_s=0.25)
+        events = generate_workload([traffic], horizon_s=1.0, seed=1, start_s=10.0)
+        assert all(e.t_s >= 10.0 for e in events)
+        assert all(e.deadline_s == pytest.approx(e.t_s + 0.25) for e in events)
+
+    def test_images_come_from_small_shared_pool(self):
+        traffic = _traffic("a", 200.0, working_set=3)
+        events = generate_workload([traffic], horizon_s=2.0, seed=4)
+        distinct = {e.image.tobytes() for e in events}
+        assert len(distinct) <= 3
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            generate_workload([_traffic("a"), _traffic("a")], horizon_s=1.0, seed=0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon_s"):
+            generate_workload([_traffic("a")], horizon_s=0.0, seed=0)
+
+
+class TestTenantTrafficValidation:
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="unknown process"):
+            _traffic("a", process="uniform")
+
+    def test_pareto_alpha_must_have_finite_mean(self):
+        with pytest.raises(ValueError, match="pareto_alpha"):
+            _traffic("a", pareto_alpha=1.0)
+
+
+class TestSloAttainment:
+    def test_counts_only_ok_within_slo(self):
+        from repro.serve import Response
+
+        responses = [
+            Response(req_id=0, status="ok", arrival_s=0.0, done_s=0.1),
+            Response(req_id=1, status="ok", arrival_s=0.0, done_s=0.9),
+            Response(
+                req_id=2,
+                status="rejected",
+                arrival_s=0.0,
+                done_s=0.0,
+                reason="queue_full",
+            ),
+            Response(req_id=3, status="timeout", arrival_s=0.0, done_s=0.5),
+        ]
+        assert slo_attainment(responses, slo_s=0.2) == pytest.approx(0.25)
+
+    def test_tenant_filter(self):
+        from repro.serve import Response
+
+        responses = [
+            Response(req_id=0, status="ok", arrival_s=0.0, done_s=0.1, tenant="a"),
+            Response(
+                req_id=1,
+                status="rejected",
+                arrival_s=0.0,
+                done_s=0.0,
+                reason="queue_full",
+                tenant="b",
+            ),
+        ]
+        assert slo_attainment(responses, 0.2, tenant="a") == 1.0
+        assert slo_attainment(responses, 0.2, tenant="b") == 0.0
+
+    def test_empty_set_attains_vacuously(self):
+        assert slo_attainment([], 0.1) == 1.0
+
+
+class TestRunOpenLoop:
+    def test_ledger_matches_events_and_books(self):
+        server = InferenceServer(
+            SyntheticEncoder(),
+            services=[FixedServiceModel(200.0)],
+            max_batch_size=4,
+            queue_capacity=128,
+            clock=VirtualClock(),
+        )
+        traffic = _traffic("prod", 60.0, deadline_s=0.5)
+        result = run_open_loop(server, [traffic], horizon_s=2.0, seed=7, slo_s=0.25)
+        assert result.offered == len(result.responses) > 0
+        assert result.offered == result.served + result.rejected + result.timed_out
+        assert server.stats.reconciles()
+        assert 0.0 <= result.attainment <= 1.0
+        assert set(result.attainment_by_tenant) == {"prod"}
+        # Fixed unpriced fleet: one replica the whole horizon, no cost.
+        assert result.mean_replicas == pytest.approx(1.0)
+        assert result.max_replicas == 1
+        assert result.measured_cost_usd == 0.0
+        assert result.scale_events == 0
+
+    def test_served_rate_and_cost_per_hour_normalization(self):
+        server = InferenceServer(
+            SyntheticEncoder(),
+            services=[FixedServiceModel(500.0)],
+            replica_prices=[3.6],
+            queue_capacity=64,
+            clock=VirtualClock(),
+        )
+        result = run_open_loop(
+            server, [_traffic("a", 40.0)], horizon_s=2.0, seed=1, slo_s=0.5
+        )
+        assert result.served_rate_ips == pytest.approx(
+            result.served / result.horizon_s
+        )
+        # 3.6 USD/h × horizon normalizes back to 3.6 USD/h measured.
+        assert result.measured_cost_per_hour == pytest.approx(3.6)
+
+
+class TestSyntheticEncoder:
+    def test_rows_are_schedule_independent(self):
+        enc = SyntheticEncoder()
+        imgs = np.random.default_rng(0).standard_normal((5, 1, 2, 2))
+        full = enc.encode_features(imgs)
+        for i in range(5):
+            row = enc.encode_features(imgs[i : i + 1])[0]
+            assert row.tobytes() == full[i].tobytes()
